@@ -1,0 +1,118 @@
+// E11c: simulation throughput, and the static-vs-dynamic IFC comparison
+// (paper §4): GLIFT-style run-time tracking costs every simulated cycle,
+// while the SecVerilogLC check is a one-time design-time cost that covers
+// *all* executions.
+#include "bench_util.hpp"
+#include "proc/assembler.hpp"
+#include "proc/sources.hpp"
+#include "proc/testbench.hpp"
+#include "sim/simulator.hpp"
+#include "verify/taint.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+namespace {
+
+using namespace svlc;
+using namespace svlc::proc;
+
+std::vector<uint32_t> busy_program() {
+    auto prog = assemble(R"(
+        addiu $1, $0, 64
+        addiu $2, $0, 1
+loop:   addu $3, $3, $2
+        sw $3, 0($1)
+        lw $4, 0($1)
+        xor $5, $4, $3
+        bne $3, $1, loop
+spin:   j spin
+)");
+    return prog.words;
+}
+
+void print_table() {
+    svlc::bench::heading(
+        "E11c: simulation throughput & run-time IFC overhead",
+        "static checking has zero per-cycle cost; gate/RTL-level dynamic "
+        "tracking\n(GLIFT-style) pays on every simulated cycle");
+
+    const auto& design = labeled_cpu_design();
+    auto words = busy_program();
+
+    auto time_cycles = [&](bool with_taint) {
+        RtlCpu rtl(*design);
+        rtl.load_program(words);
+        rtl.reset();
+        verify::TaintTracker tracker(*design);
+        const uint64_t cycles = 20000;
+        auto t0 = std::chrono::steady_clock::now();
+        if (with_taint) {
+            for (uint64_t i = 0; i < cycles; ++i)
+                tracker.step(rtl.sim());
+        } else {
+            rtl.run_cycles(cycles);
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        double secs = std::chrono::duration<double>(t1 - t0).count();
+        return static_cast<double>(cycles) / secs;
+    };
+    double plain = time_cycles(false);
+    double tainted = time_cycles(true);
+    std::printf("%-42s %14.0f cycles/s\n", "RTL simulation (single core)",
+                plain);
+    std::printf("%-42s %14.0f cycles/s\n",
+                "RTL simulation + GLIFT-style taint", tainted);
+    std::printf("%-42s %13.2fx\n", "dynamic-tracking slowdown",
+                plain / tainted);
+
+    auto quad = compile_cpu(quad_core_source(), "quad");
+    sim::Simulator qsim(*quad);
+    auto t0 = std::chrono::steady_clock::now();
+    qsim.run(5000);
+    auto t1 = std::chrono::steady_clock::now();
+    std::printf("%-42s %14.0f cycles/s\n", "RTL simulation (quad-core ring)",
+                5000.0 / std::chrono::duration<double>(t1 - t0).count());
+}
+
+void bm_sim_cpu_cycle(benchmark::State& state) {
+    const auto& design = labeled_cpu_design();
+    RtlCpu rtl(*design);
+    rtl.load_program(busy_program());
+    rtl.reset();
+    for (auto _ : state)
+        rtl.sim().step();
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(bm_sim_cpu_cycle);
+
+void bm_sim_cpu_cycle_with_taint(benchmark::State& state) {
+    const auto& design = labeled_cpu_design();
+    RtlCpu rtl(*design);
+    rtl.load_program(busy_program());
+    rtl.reset();
+    verify::TaintTracker tracker(*design);
+    for (auto _ : state)
+        tracker.step(rtl.sim());
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(bm_sim_cpu_cycle_with_taint);
+
+void bm_sim_quad_cycle(benchmark::State& state) {
+    auto design = compile_cpu(quad_core_source(), "quad");
+    sim::Simulator sim(*design);
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(bm_sim_quad_cycle);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,125 @@
+// E11b: the entailment engine — microbenchmarks of the decision
+// procedure that discharges C(•η) ⇒ τ⊔pc ⊑ τ' (syntactic fast path vs
+// dependency-closed enumeration), and the enumeration-budget sweep.
+#include "bench_util.hpp"
+#include "sem/updates.hpp"
+#include "solver/entail.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace svlc;
+using svlc::bench::compile;
+
+/// A mode register driven through a chain of N combinational stages; the
+/// goal needs the solver to chase equations through the whole chain.
+std::string chained_guard(int depth) {
+    std::ostringstream os;
+    os << "lattice { level T; level U; flow T -> U; }\n";
+    os << "function lb(x:1) { 0 -> T; default -> U; }\n";
+    os << "module m(input com {T} g0, input com [7:0] {U} din);\n";
+    os << "  reg seq {T} mode;\n";
+    os << "  reg seq [7:0] {lb(mode)} r;\n";
+    for (int i = 1; i <= depth; ++i)
+        os << "  wire com {T} g" << i << ";\n";
+    for (int i = 1; i <= depth; ++i)
+        os << "  assign g" << i << " = g" << i - 1 << ";\n";
+    os << "  always @(seq) begin\n";
+    os << "    if (g" << depth << ") mode <= ~mode;\n";
+    os << "  end\n";
+    os << "  always @(seq) begin\n";
+    os << "    if (g" << depth
+       << " && (mode == 1'b1) && (next(mode) == 1'b0)) r <= 8'h0;\n";
+    os << "    else if (mode == 1'b1) r <= din;\n";
+    os << "  end\nendmodule\n";
+    return os.str();
+}
+
+void print_table() {
+    svlc::bench::heading(
+        "E11b: entailment-engine statistics",
+        "obligations are mostly discharged syntactically; the rest "
+        "enumerate only\nthe small label-relevant state (never the design's "
+        "full state space)");
+    std::printf("%-28s %12s %12s %12s %14s\n", "design", "queries",
+                "syntactic", "enumerated", "cand./query");
+    for (int depth : {1, 4, 8}) {
+        auto design = compile(chained_guard(depth));
+        auto result = svlc::bench::check(*design);
+        const auto& st = result.solver_stats;
+        std::printf("guard chain depth %-10d %12llu %12llu %12llu %14.1f\n",
+                    depth, static_cast<unsigned long long>(st.queries),
+                    static_cast<unsigned long long>(st.syntactic_hits),
+                    static_cast<unsigned long long>(st.enumerations),
+                    st.enumerations
+                        ? static_cast<double>(st.total_candidates) /
+                              static_cast<double>(st.enumerations)
+                        : 0.0);
+    }
+}
+
+void bm_entailment_query(benchmark::State& state) {
+    auto design = compile(chained_guard(static_cast<int>(state.range(0))));
+    sem::Equations eqs = sem::build_equations(*design);
+    solver::EntailmentEngine engine(*design, eqs);
+
+    // The interesting obligation: din (U) into lb(mode') under the guard.
+    hir::NetId mode = design->find_net("mode");
+    FuncId lb = *design->policy.find_function("lb");
+    solver::SolverLabel lhs = solver::SolverLabel::level(
+        *design->policy.lattice().find("U"));
+    solver::SolverLabel rhs;
+    solver::SolverAtom atom;
+    atom.kind = solver::SolverAtom::Kind::Func;
+    atom.func = lb;
+    atom.args.push_back({mode, true});
+    rhs.atoms.push_back(atom);
+
+    hir::ExprPtr guard = hir::Expr::make_binary(
+        hir::BinaryOp::Eq, hir::Expr::make_net(mode, 1, false),
+        hir::Expr::make_const(BitVec(1, 1)));
+    std::vector<const hir::Expr*> facts{guard.get()};
+    for (auto _ : state) {
+        auto result = engine.check_flow(lhs, rhs, facts);
+        benchmark::DoNotOptimize(result.status);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(bm_entailment_query)->Arg(1)->Arg(4)->Arg(8);
+
+void bm_syntactic_fast_path(benchmark::State& state) {
+    auto design = compile(chained_guard(1));
+    sem::Equations eqs = sem::build_equations(*design);
+    solver::EntailmentEngine engine(*design, eqs);
+    LevelId t = *design->policy.lattice().find("T");
+    LevelId u = *design->policy.lattice().find("U");
+    auto lhs = solver::SolverLabel::level(t);
+    auto rhs = solver::SolverLabel::level(u);
+    for (auto _ : state) {
+        auto result = engine.check_flow(lhs, rhs, {});
+        benchmark::DoNotOptimize(result.status);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(bm_syntactic_fast_path);
+
+void bm_build_equations_cpu_scale(benchmark::State& state) {
+    auto design = compile(chained_guard(8));
+    for (auto _ : state) {
+        auto eqs = sem::build_equations(*design);
+        benchmark::DoNotOptimize(eqs.defs.size());
+    }
+}
+BENCHMARK(bm_build_equations_cpu_scale);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,96 @@
+// E8: synthesis overhead (paper §3.3) — baseline 29,638 µm² vs labeled
+// 29,843 µm² (~0.7%) at a met 2 ns clock on TSMC 65 nm. Our substitute
+// flow (technology-mapping model, see DESIGN.md) reproduces the shape:
+// both variants meet 2 ns and the labeled design pays a small single-digit
+// percentage, dominated by the enable-FF mapping artifact the paper
+// itself attributes most of its delta to.
+#include "bench_util.hpp"
+#include "proc/sources.hpp"
+#include "proc/testbench.hpp"
+#include "synth/synthesize.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace svlc;
+using namespace svlc::proc;
+
+void print_table() {
+    svlc::bench::heading(
+        "E8: area and clock-period overhead",
+        "area 29,638 um^2 (baseline) vs 29,843 um^2 (labeled), ~0.7% "
+        "overhead;\nboth meet the 2 ns target clock");
+
+    synth::SynthOptions base_map;          // hand mapping: enable FFs
+    synth::SynthOptions labeled_map;       // the compiler's artifact:
+    labeled_map.use_enable_ff = false;     // no enable FFs (§3.3)
+
+    auto base = synth::synthesize(*baseline_cpu_design(), base_map);
+    auto labeled = synth::synthesize(*labeled_cpu_design(), labeled_map);
+
+    std::printf("%-26s %14s %14s\n", "", "baseline", "labeled");
+    std::printf("%-26s %14.0f %14.0f\n", "area (um^2)", base.area_um2,
+                labeled.area_um2);
+    std::printf("%-26s %14.2f %14.2f\n", "critical path (ns)",
+                base.critical_path_ns, labeled.critical_path_ns);
+    std::printf("%-26s %14s %14s\n", "meets 2 ns",
+                base.meets_target ? "yes" : "NO",
+                labeled.meets_target ? "yes" : "NO");
+    std::printf("%-26s %14llu %14llu\n", "FF bits",
+                static_cast<unsigned long long>(base.ff_bits),
+                static_cast<unsigned long long>(labeled.ff_bits));
+    std::printf("%-26s %14llu %14llu\n", "  with built-in enables",
+                static_cast<unsigned long long>(base.enable_ff_bits),
+                static_cast<unsigned long long>(labeled.enable_ff_bits));
+    std::printf("%-26s %14llu %14llu\n", "SRAM bits (macro)",
+                static_cast<unsigned long long>(base.sram_bits),
+                static_cast<unsigned long long>(labeled.sram_bits));
+    double overhead =
+        100.0 * (labeled.area_um2 - base.area_um2) / base.area_um2;
+    std::printf("\narea overhead: %.2f%%   (paper: ~0.7%%; same shape — "
+                "small, FF-mapping dominated,\nidentical timing)\n",
+                overhead);
+
+    std::printf("\ncell breakdown (labeled design):\n");
+    for (const auto& [name, count] : labeled.cells.by_name)
+        std::printf("  %-8s %8llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count));
+
+    // Sanity ablation: mapping the labeled design *with* enable FFs
+    // recovers parity — confirming the artifact is the mapping, not the
+    // security logic.
+    auto labeled_en = synth::synthesize(*labeled_cpu_design(), base_map);
+    std::printf("\nablation: labeled design mapped with enable FFs: "
+                "%.0f um^2 (%.2f%% vs baseline)\n",
+                labeled_en.area_um2,
+                100.0 * (labeled_en.area_um2 - base.area_um2) /
+                    base.area_um2);
+}
+
+void bm_synthesize_cpu(benchmark::State& state) {
+    const auto& design = labeled_cpu_design();
+    for (auto _ : state) {
+        auto report = synth::synthesize(*design);
+        benchmark::DoNotOptimize(report.area_um2);
+    }
+}
+BENCHMARK(bm_synthesize_cpu)->Unit(benchmark::kMillisecond);
+
+void bm_synthesize_quad(benchmark::State& state) {
+    auto design = compile_cpu(quad_core_source(), "quad");
+    for (auto _ : state) {
+        auto report = synth::synthesize(*design);
+        benchmark::DoNotOptimize(report.area_um2);
+    }
+}
+BENCHMARK(bm_synthesize_quad)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

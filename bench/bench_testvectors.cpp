@@ -1,0 +1,78 @@
+// E9: functional evaluation (paper §3.1) — "the processor was
+// functionally evaluated with 166 unit test vectors". Runs the full suite
+// against the golden ISA model on both processor variants and measures
+// simulation throughput.
+#include "bench_util.hpp"
+#include "proc/testbench.hpp"
+#include "proc/testvectors.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace svlc;
+using namespace svlc::proc;
+
+void print_table() {
+    svlc::bench::heading(
+        "E9: functional test vectors",
+        "166 unit test vectors pass on the pipelined processor");
+    auto vectors = functional_test_vectors();
+
+    struct Target {
+        const char* name;
+        const std::shared_ptr<hir::Design>& design;
+    } targets[] = {
+        {"labeled processor", labeled_cpu_design()},
+        {"baseline processor", baseline_cpu_design()},
+    };
+    for (const auto& t : targets) {
+        size_t passed = 0;
+        std::string first_failure;
+        for (const auto& vec : vectors) {
+            std::string r = run_vector(*t.design, vec);
+            if (r.empty())
+                ++passed;
+            else if (first_failure.empty())
+                first_failure = r;
+        }
+        std::printf("%-22s %zu / %zu vectors pass%s%s\n", t.name, passed,
+                    vectors.size(), first_failure.empty() ? "" : " — first: ",
+                    first_failure.c_str());
+    }
+}
+
+void bm_run_vector(benchmark::State& state) {
+    static const auto vectors = functional_test_vectors();
+    const auto& design = labeled_cpu_design();
+    size_t i = 0;
+    for (auto _ : state) {
+        std::string r = run_vector(*design, vectors[i % vectors.size()]);
+        benchmark::DoNotOptimize(r.size());
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(bm_run_vector)->Unit(benchmark::kMillisecond);
+
+void bm_full_suite(benchmark::State& state) {
+    static const auto vectors = functional_test_vectors();
+    const auto& design = labeled_cpu_design();
+    for (auto _ : state) {
+        size_t passed = 0;
+        for (const auto& vec : vectors)
+            passed += run_vector(*design, vec).empty();
+        benchmark::DoNotOptimize(passed);
+    }
+    state.SetLabel("all 166 vectors");
+}
+BENCHMARK(bm_full_suite)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

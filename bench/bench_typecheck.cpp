@@ -1,0 +1,131 @@
+// E11a: checker scaling — type-checking is fast and static (the paper's
+// pitch against simulation-based and model-checking flows, §1). Sweeps
+// synthetic designs: label-propagating pipeline chains (the Fig. 2
+// pattern, N stages) and mode-dependent register banks.
+#include "bench_util.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace svlc;
+using svlc::bench::compile;
+
+/// N-stage pipeline where every stage's label follows a staged mode bit
+/// (the paper's "pipeline the labels" design choice, §2.1).
+std::string pipeline_chain(int stages) {
+    std::ostringstream os;
+    os << "lattice { level T; level U; flow T -> U; }\n";
+    os << "function lb(x:1) { 0 -> T; default -> U; }\n";
+    os << "module chain(input com {T} m_in, input com [15:0] {lb(m_in)} "
+          "d_in);\n";
+    for (int i = 0; i < stages; ++i) {
+        os << "  reg seq {T} m" << i << ";\n";
+        os << "  reg seq [15:0] {lb(m" << i << ")} d" << i << ";\n";
+    }
+    os << "  always @(seq) begin\n";
+    os << "    m0 <= m_in;\n    d0 <= d_in;\n";
+    for (int i = 1; i < stages; ++i) {
+        os << "    m" << i << " <= m" << i - 1 << ";\n";
+        os << "    d" << i << " <= d" << i - 1 << ";\n";
+    }
+    os << "  end\nendmodule\n";
+    return os.str();
+}
+
+/// N mode-dependent registers all hanging off one mode bit, each with a
+/// clear-on-upgrade guard (stresses the hold-obligation machinery).
+std::string register_bank(int regs) {
+    std::ostringstream os;
+    os << "lattice { level T; level U; flow T -> U; }\n";
+    os << "function lb(x:1) { 0 -> T; default -> U; }\n";
+    os << "module bank(input com {T} go, input com [15:0] {U} din);\n";
+    os << "  reg seq {T} mode;\n";
+    os << "  always @(seq) begin\n    if (go) mode <= ~mode;\n  end\n";
+    for (int i = 0; i < regs; ++i) {
+        os << "  reg seq [15:0] {lb(mode)} r" << i << ";\n";
+        os << "  always @(seq) begin\n";
+        os << "    if (go && (mode == 1'b1) && (next(mode) == 1'b0)) r" << i
+           << " <= 16'h0;\n";
+        os << "    else if (mode == 1'b1) r" << i << " <= din;\n";
+        os << "  end\n";
+    }
+    os << "endmodule\n";
+    return os.str();
+}
+
+void print_table() {
+    svlc::bench::heading(
+        "E11a: type-checker scaling",
+        "checking is static and fast — no simulation, no state-space "
+        "enumeration\nover the design's full state (only over the small "
+        "label-relevant variables)");
+    std::printf("%-34s %12s %12s %10s\n", "design", "obligations",
+                "enumerated", "verdict");
+    for (int n : {4, 16, 64}) {
+        auto design = compile(pipeline_chain(n));
+        auto result = svlc::bench::check(*design);
+        size_t enumerated = 0;
+        for (const auto& ob : result.obligations)
+            if (!ob.result.syntactic)
+                ++enumerated;
+        std::printf("label pipeline, %3d stages         %12zu %12zu %10s\n",
+                    n, result.obligations.size(), enumerated,
+                    result.ok ? "pass" : "FAIL");
+    }
+    for (int n : {4, 16, 64}) {
+        auto design = compile(register_bank(n));
+        auto result = svlc::bench::check(*design);
+        size_t enumerated = 0;
+        for (const auto& ob : result.obligations)
+            if (!ob.result.syntactic)
+                ++enumerated;
+        std::printf("mode-dependent bank, %3d registers %12zu %12zu %10s\n",
+                    n, result.obligations.size(), enumerated,
+                    result.ok ? "pass" : "FAIL");
+    }
+}
+
+void bm_check_pipeline_chain(benchmark::State& state) {
+    auto design = compile(pipeline_chain(static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        DiagnosticEngine diags;
+        auto result = check::check_design(*design, diags);
+        benchmark::DoNotOptimize(result.failed);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_check_pipeline_chain)->RangeMultiplier(2)->Range(4, 64)
+    ->Complexity();
+
+void bm_check_register_bank(benchmark::State& state) {
+    auto design = compile(register_bank(static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        DiagnosticEngine diags;
+        auto result = check::check_design(*design, diags);
+        benchmark::DoNotOptimize(result.failed);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_check_register_bank)->RangeMultiplier(2)->Range(4, 64)
+    ->Complexity();
+
+void bm_elaborate_pipeline_chain(benchmark::State& state) {
+    std::string src = pipeline_chain(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto design = compile(src);
+        benchmark::DoNotOptimize(design->nets.size());
+    }
+}
+BENCHMARK(bm_elaborate_pipeline_chain)->Arg(16)->Arg(64);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

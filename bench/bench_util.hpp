@@ -1,0 +1,52 @@
+// Shared helpers for the benchmark binaries: compile pipelines without
+// gtest, and small table-printing utilities. Every bench binary first
+// prints its experiment's reproduction table (paper §§2-3), then runs the
+// google-benchmark timings.
+#pragma once
+
+#include "check/typecheck.hpp"
+#include "parse/parser.hpp"
+#include "sem/elaborate.hpp"
+#include "sem/wellformed.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_manager.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace svlc::bench {
+
+inline std::unique_ptr<hir::Design> compile(const std::string& text,
+                                            const std::string& top = "") {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    ast::CompilationUnit unit = Parser::parse_text(text, sm, diags);
+    sem::ElaborateOptions opts;
+    opts.top = top;
+    std::unique_ptr<hir::Design> design;
+    if (!diags.has_errors())
+        design = sem::elaborate(unit, diags, opts);
+    if (design)
+        sem::analyze_wellformed(*design, diags);
+    if (!design || diags.has_errors())
+        throw std::runtime_error("bench design failed to compile:\n" +
+                                 diags.render());
+    return design;
+}
+
+inline check::CheckResult check(const hir::Design& design,
+                                check::CheckOptions opts = {}) {
+    DiagnosticEngine diags;
+    return check::check_design(design, diags, opts);
+}
+
+inline void heading(const char* experiment, const char* claim) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper claim: %s\n", claim);
+    std::printf("================================================================\n");
+}
+
+} // namespace svlc::bench

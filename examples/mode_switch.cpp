@@ -1,0 +1,145 @@
+// The paper's Figure 4, end to end: a program counter whose label follows
+// the privilege mode, with `next`-operator guards making the mode switch
+// provably secure. Shows:
+//   * SecVerilogLC accepts the design (classic SecVerilog cannot),
+//   * the per-obligation solver evidence (syntactic vs enumerated),
+//   * a simulated SYSCALL/SYSRET round trip with live labels.
+//
+// Build & run:  ./build/examples/mode_switch
+#include "check/typecheck.hpp"
+#include "parse/parser.hpp"
+#include "sem/elaborate.hpp"
+#include "sem/wellformed.hpp"
+#include "sim/simulator.hpp"
+
+#include <cstdio>
+#include <string>
+
+using namespace svlc;
+
+namespace {
+
+const char* kFig4 = R"(
+lattice { level T; level U; flow T -> U; }
+function mode_to_lb(x:1) { 0 -> T; default -> U; }
+module fig4(input com {T} rst,
+            input com {U} req_syscall,    // untrusted request from decode
+            input com {T} ret_kernel,     // kernel decides to return
+            input com [15:0] {U} user_pc_next);
+  localparam SYSCALL_PC_VAL = 16'h8000;
+  reg seq {T} mode;                        // 0 kernel / 1 user; boot: kernel
+  reg seq [15:0] {U} epc;
+  reg seq [15:0] {mode_to_lb(mode)} pc;
+
+  wire com {T} take_syscall;
+  assign take_syscall = endorse((mode == 1'b1) && req_syscall, T);
+  wire com {mode_to_lb(mode)} take_sysret;
+  assign take_sysret = (mode == 1'b0) && ret_kernel;
+
+  always @(seq) begin
+    if (rst) mode <= 1'b0;
+    else if (take_syscall) mode <= 1'b0;
+    else if (take_sysret) mode <= 1'b1;
+  end
+  always @(seq) begin
+    if (take_syscall) epc <= pc;          // save the user pc
+  end
+  always @(seq) begin
+    if (rst) pc <= 16'b0;
+    else if (take_syscall && (next(mode) == 1'b0))
+      pc <= SYSCALL_PC_VAL;               // switch to kernel mode
+    else if (take_sysret)
+      pc <= epc;                          // return to user mode
+    else if (mode == 1'b1)
+      pc <= user_pc_next;                 // user-controlled while in user
+    else
+      pc <= pc + 16'd4;
+  end
+endmodule
+)";
+
+} // namespace
+
+int main() {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    ast::CompilationUnit unit = Parser::parse_text(kFig4, sm, diags);
+    auto design = sem::elaborate(unit, diags);
+    if (!design || !sem::analyze_wellformed(*design, diags)) {
+        std::printf("structural errors:\n%s", diags.render().c_str());
+        return 1;
+    }
+
+    // SecVerilogLC accepts...
+    auto lc = check::check_design(*design, diags);
+    std::printf("SecVerilogLC verdict: %s (%zu obligations, %zu via the\n"
+                "cycle-aware enumeration, %zu downgrade site)\n\n",
+                lc.ok ? "ACCEPTED" : "REJECTED", lc.obligations.size(),
+                [&] {
+                    size_t n = 0;
+                    for (const auto& ob : lc.obligations)
+                        if (!ob.result.syntactic)
+                            ++n;
+                    return n;
+                }(),
+                lc.downgrade_count);
+    for (const auto& ob : lc.obligations) {
+        if (ob.result.syntactic)
+            continue;
+        std::printf("  proved %s -> %s over %llu candidate states\n",
+                    ob.lhs_label.c_str(), ob.rhs_label.c_str(),
+                    static_cast<unsigned long long>(ob.result.candidates));
+    }
+
+    // ...classic SecVerilog cannot.
+    DiagnosticEngine classic_diags(&sm);
+    check::CheckOptions classic;
+    classic.mode = check::CheckerMode::ClassicSecVerilog;
+    auto cv = check::check_design(*design, classic_diags, classic);
+    std::printf("\nClassic SecVerilog verdict: %s (%zu of %zu obligations "
+                "fail without\ncycle-by-cycle reasoning)\n\n",
+                cv.ok ? "ACCEPTED" : "REJECTED", cv.failed,
+                cv.obligations.size());
+
+    if (!lc.ok)
+        return 1;
+
+    // Simulate a SYSCALL / SYSRET round trip.
+    sim::Simulator sim(*design);
+    const Lattice& lat = design->policy.lattice();
+    hir::NetId pc = design->find_net("pc");
+    sim.set_input("rst", 1);
+    sim.step();
+    sim.set_input("rst", 0);
+
+    struct Stim {
+        const char* what;
+        uint64_t req, ret, upc;
+    } stims[] = {
+        {"boot in kernel", 0, 0, 0},
+        {"kernel work", 0, 0, 0},
+        {"SYSRET to user", 0, 1, 0},
+        {"user runs", 0, 0, 0x1234},
+        {"user runs", 0, 0, 0x1238},
+        {"SYSCALL", 1, 0, 0x123C},
+        {"kernel handles", 0, 0, 0},
+        {"SYSRET to user", 0, 1, 0},
+        {"user resumes", 0, 0, 0x1240},
+    };
+    std::printf("event              mode  label(pc)  pc      epc\n");
+    for (const Stim& s : stims) {
+        sim.set_input("req_syscall", s.req);
+        sim.set_input("ret_kernel", s.ret);
+        sim.set_input("user_pc_next", s.upc);
+        sim.step();
+        std::printf("%-18s %4llu  %9s  0x%04llx  0x%04llx\n", s.what,
+                    static_cast<unsigned long long>(sim.get("mode").value()),
+                    lat.name(sim.current_label(pc)).c_str(),
+                    static_cast<unsigned long long>(sim.get("pc").value()),
+                    static_cast<unsigned long long>(sim.get("epc").value()));
+    }
+    std::printf("\nOn SYSCALL the pc is forced to the trusted constant and\n"
+                "its label upgrades; on SYSRET the saved user pc is restored\n"
+                "without any downgrade (T -> U needs no code, §3.2).\n");
+    return 0;
+}

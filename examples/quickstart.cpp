@@ -1,0 +1,136 @@
+// Quickstart: the smallest end-to-end use of the SecVerilogLC toolchain.
+//
+//   1. write a security policy (lattice + dependent-label function),
+//   2. write labeled hardware,
+//   3. type-check it (one flow is rejected, the fixed version passes),
+//   4. simulate the accepted design and watch a dependent label move.
+//
+// Build & run:  ./build/examples/quickstart
+#include "check/typecheck.hpp"
+#include "parse/parser.hpp"
+#include "sem/elaborate.hpp"
+#include "sem/wellformed.hpp"
+#include "sim/simulator.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+using namespace svlc;
+
+namespace {
+
+/// parse -> elaborate -> analyze; returns nullptr and prints diagnostics
+/// on structural errors.
+std::unique_ptr<hir::Design> compile(const std::string& text,
+                                     SourceManager& sm,
+                                     DiagnosticEngine& diags) {
+    ast::CompilationUnit unit = Parser::parse_text(text, sm, diags);
+    if (diags.has_errors())
+        return nullptr;
+    auto design = sem::elaborate(unit, diags);
+    if (!design)
+        return nullptr;
+    if (!sem::analyze_wellformed(*design, diags))
+        return nullptr;
+    return design;
+}
+
+const char* kInsecure = R"(
+lattice { level T; level U; flow T -> U; }
+module demo(input com [7:0] {U} untrusted_in);
+  reg seq [7:0] {T} trusted_reg;
+  always @(seq) begin
+    trusted_reg <= untrusted_in;   // illegal: U -> T
+  end
+endmodule
+)";
+
+const char* kSecure = R"(
+lattice { level T; level U; flow T -> U; }
+function owner(x:1) { 0 -> T; default -> U; }
+module demo(input com {T} grant,
+            input com [7:0] {U} untrusted_in,
+            output com [7:0] {U} out);
+  reg seq {T} who;                     // 0: trusted owns it, 1: untrusted
+  reg seq [7:0] {owner(who)} shared;   // label follows the owner register
+  assign out = shared;
+  always @(seq) begin
+    if (grant) who <= ~who;
+  end
+  always @(seq) begin
+    if (grant && (who == 1'b1) && (next(who) == 1'b0))
+      shared <= 8'h00;                 // cleared on the U -> T upgrade
+    else if (who == 1'b1)
+      shared <= untrusted_in;          // untrusted may write while it owns
+  end
+endmodule
+)";
+
+void report(const char* title, const check::CheckResult& result,
+            const DiagnosticEngine& diags) {
+    std::printf("== %s ==\n", title);
+    std::printf("   obligations: %zu, failed: %zu, downgrades: %zu\n",
+                result.obligations.size(), result.failed,
+                result.downgrade_count);
+    std::printf("   verdict: %s\n", result.ok ? "SECURE (type-checks)"
+                                              : "REJECTED");
+    if (!result.ok)
+        std::printf("%s", diags.render().c_str());
+}
+
+} // namespace
+
+int main() {
+    // ----- 1. an insecure design is rejected with a counterexample -----
+    {
+        SourceManager sm;
+        DiagnosticEngine diags(&sm);
+        auto design = compile(kInsecure, sm, diags);
+        if (!design) {
+            std::printf("unexpected structural errors:\n%s",
+                        diags.render().c_str());
+            return 1;
+        }
+        auto result = check::check_design(*design, diags);
+        report("insecure flow U -> T", result, diags);
+    }
+
+    // ----- 2. a mutable-dependent-label design passes ------------------
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    auto design = compile(kSecure, sm, diags);
+    if (!design) {
+        std::printf("unexpected structural errors:\n%s",
+                    diags.render().c_str());
+        return 1;
+    }
+    auto result = check::check_design(*design, diags);
+    report("shared register with mutable dependent label", result, diags);
+    if (!result.ok)
+        return 1;
+
+    // ----- 3. watch the label change at run time -----------------------
+    sim::Simulator sim(*design);
+    const Lattice& lat = design->policy.lattice();
+    hir::NetId shared = design->find_net("shared");
+    std::printf("\ncycle  grant  who  label(shared)  shared\n");
+    struct Step {
+        uint64_t grant, in;
+    } steps[] = {{1, 0xAA}, {0, 0xBB}, {0, 0xCC}, {1, 0xDD}, {0, 0xEE}};
+    for (const Step& s : steps) {
+        sim.set_input("grant", s.grant);
+        sim.set_input("untrusted_in", s.in);
+        sim.step();
+        std::printf("%5llu  %5llu  %3llu  %13s  0x%02llx\n",
+                    static_cast<unsigned long long>(sim.cycle()),
+                    static_cast<unsigned long long>(s.grant),
+                    static_cast<unsigned long long>(sim.get("who").value()),
+                    lat.name(sim.current_label(shared)).c_str(),
+                    static_cast<unsigned long long>(sim.get("shared").value()));
+    }
+    std::printf("\nNote the U -> T transition: the type system required the\n"
+                "clear on that upgrade, and the simulator shows the register\n"
+                "holds 0x00 exactly when its label returns to T.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+// The quad-core evaluation platform (paper §3.1): four type-checked
+// cores on a unidirectional ring. Each core boots its kernel, drops to
+// user space, reads a token from the ring, transforms it, and forwards
+// it — a tiny message-passing protocol over the MMIO network registers,
+// with the whole platform verified by one type-check.
+//
+// Build & run:  ./build/examples/ring_demo
+#include "check/typecheck.hpp"
+#include "proc/assembler.hpp"
+#include "proc/sources.hpp"
+#include "proc/testbench.hpp"
+#include "sim/simulator.hpp"
+
+#include <cstdio>
+
+using namespace svlc;
+using namespace svlc::proc;
+
+int main() {
+    auto design = compile_cpu(quad_core_source(), "quad");
+    DiagnosticEngine diags;
+    auto verdict = check::check_design(*design, diags);
+    std::printf("quad-core ring platform: %s — %zu obligations, "
+                "%zu downgrades (3 per core)\n",
+                verdict.ok ? "type-checks" : "REJECTED",
+                verdict.obligations.size(), verdict.downgrade_count);
+    if (!verdict.ok) {
+        std::printf("%s", diags.render().c_str());
+        return 1;
+    }
+
+    // Core 0 originates a token; every core adds its own stamp and
+    // forwards. After one lap the token carries all four stamps.
+    auto kernel = assemble("sysret\nboot: j boot\n");
+    const char* user_c0 = R"(
+        addiu $1, $0, 0x3FC
+        addiu $2, $0, 1        # the initial token
+        sw $2, 0($1)
+        addiu $3, $0, 0x3F8
+wait:   lw $4, 0($3)           # wait for the token to come back around
+        beq $4, $2, wait
+        beq $4, $0, wait
+spin:   j spin
+)";
+    const char* user_other = R"(
+        addiu $3, $0, 0x3F8
+        addiu $1, $0, 0x3FC
+wait:   lw $4, 0($3)
+        beq $4, $0, wait
+        sll $5, $4, 1          # stamp: token = 2*token + 1
+        addiu $5, $5, 1
+        sw $5, 0($1)
+spin:   j spin
+)";
+    auto u0 = assemble(user_c0);
+    auto uo = assemble(user_other);
+    if (!kernel.ok || !u0.ok || !uo.ok) {
+        std::printf("assembly failed\n");
+        return 1;
+    }
+
+    sim::Simulator sim(*design);
+    const char* cores[] = {"c0.", "c1.", "c2.", "c3."};
+    for (int c = 0; c < 4; ++c) {
+        const auto& user = (c == 0) ? u0 : uo;
+        for (uint32_t i = 0; i < ArchParams::kImemWords; ++i) {
+            sim.poke_elem(std::string(cores[c]) + "imem_k", i,
+                          i < kernel.words.size() ? kernel.words[i] : kNop);
+            sim.poke_elem(std::string(cores[c]) + "imem_u", i,
+                          i < user.words.size() ? user.words[i] : kNop);
+        }
+    }
+    sim.set_input("rst", 1);
+    sim.step();
+    sim.set_input("rst", 0);
+
+    std::printf("\ncycle   c0.out  c1.out  c2.out  c3.out\n");
+    for (int epoch = 0; epoch < 8; ++epoch) {
+        sim.run(40);
+        std::printf("%5llu   0x%04llx  0x%04llx  0x%04llx  0x%04llx\n",
+                    static_cast<unsigned long long>(sim.cycle()),
+                    static_cast<unsigned long long>(
+                        sim.get("c0.net_out").value()),
+                    static_cast<unsigned long long>(
+                        sim.get("c1.net_out").value()),
+                    static_cast<unsigned long long>(
+                        sim.get("c2.net_out").value()),
+                    static_cast<unsigned long long>(
+                        sim.get("c3.net_out").value()));
+    }
+    // token 1 stamped three times: ((1*2+1)*2+1)*2+1 = 15.
+    uint64_t final_token = sim.get("c3.net_out").value();
+    std::printf("\ntoken after one lap (expected 0xf): 0x%llx %s\n",
+                static_cast<unsigned long long>(final_token),
+                final_token == 0xF ? "— the ring works" : "(unexpected)");
+    return final_token == 0xF ? 0 : 1;
+}

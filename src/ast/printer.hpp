@@ -1,0 +1,25 @@
+// Pretty-printer: renders AST back to SecVerilogLC concrete syntax.
+// Used for diagnostics, golden tests, and as the basis of the Verilog
+// emitter (which prints with labels erased).
+#pragma once
+
+#include "ast/ast.hpp"
+
+#include <string>
+
+namespace svlc::ast {
+
+struct PrintOptions {
+    /// Erase security labels and com/seq annotations, producing plain
+    /// Verilog-like output.
+    bool erase_labels = false;
+    int indent_width = 2;
+};
+
+std::string print(const Expr& e, const PrintOptions& opts = {});
+std::string print(const Label& l, const PrintOptions& opts = {});
+std::string print(const Stmt& s, const PrintOptions& opts = {}, int indent = 0);
+std::string print(const Module& m, const PrintOptions& opts = {});
+std::string print(const CompilationUnit& cu, const PrintOptions& opts = {});
+
+} // namespace svlc::ast

@@ -1,0 +1,57 @@
+#include "lattice/label_function.hpp"
+
+#include <cassert>
+
+namespace svlc {
+
+LevelId LabelFunction::evaluate(const std::vector<uint64_t>& args) const {
+    assert(args.size() == arg_widths_.size());
+    std::vector<uint64_t> masked(args.size());
+    for (size_t i = 0; i < args.size(); ++i)
+        masked[i] = args[i] & BitVec::mask(arg_widths_[i]);
+    for (const Entry& e : entries_)
+        if (e.args == masked)
+            return e.level;
+    return default_;
+}
+
+bool LabelFunction::is_constant(const Lattice& lat, LevelId* level) const {
+    (void)lat;
+    LevelId first = entries_.empty() ? default_ : entries_.front().level;
+    for (const Entry& e : entries_)
+        if (e.level != first)
+            return false;
+    // Entries may not cover the whole domain, so the default also counts
+    // unless the entries provably cover everything; be conservative and
+    // require the default to match too.
+    if (default_ != first) {
+        // Check whether entries cover the full (small) domain.
+        uint64_t domain = 1;
+        for (uint32_t w : arg_widths_) {
+            if (w > 16)
+                return false; // too large to prove coverage
+            domain *= (uint64_t{1} << w);
+            if (domain > 65536)
+                return false;
+        }
+        if (entries_.size() < domain)
+            return false;
+    }
+    if (level)
+        *level = first;
+    return true;
+}
+
+FuncId SecurityPolicy::add_function(LabelFunction fn) {
+    functions_.push_back(std::move(fn));
+    return static_cast<FuncId>(functions_.size() - 1);
+}
+
+std::optional<FuncId> SecurityPolicy::find_function(std::string_view name) const {
+    for (size_t i = 0; i < functions_.size(); ++i)
+        if (functions_[i].name() == name)
+            return static_cast<FuncId>(i);
+    return std::nullopt;
+}
+
+} // namespace svlc

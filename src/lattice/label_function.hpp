@@ -1,0 +1,85 @@
+// Dependent-label functions: pure, total maps from bit-vector argument
+// tuples to lattice levels, declared in the policy section of a
+// SecVerilogLC source file, e.g.
+//   function mode_to_lb(x:1) { 0 -> T; default -> U; }
+#pragma once
+
+#include "lattice/lattice.hpp"
+#include "support/bitvec.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace svlc {
+
+using FuncId = uint32_t;
+constexpr FuncId kInvalidFunc = ~FuncId{0};
+
+/// A total function from argument values to levels: explicit entries plus
+/// a mandatory default. Totality makes label evaluation defined for every
+/// run-time state, which the soundness argument relies on.
+class LabelFunction {
+public:
+    LabelFunction(std::string name, std::vector<uint32_t> arg_widths,
+                  LevelId default_level)
+        : name_(std::move(name)), arg_widths_(std::move(arg_widths)),
+          default_(default_level) {}
+
+    void add_entry(std::vector<uint64_t> args, LevelId level) {
+        entries_.push_back({std::move(args), level});
+    }
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] size_t arity() const { return arg_widths_.size(); }
+    [[nodiscard]] const std::vector<uint32_t>& arg_widths() const {
+        return arg_widths_;
+    }
+    [[nodiscard]] LevelId default_level() const { return default_; }
+
+    /// Evaluates on concrete argument values (masked to arg widths).
+    [[nodiscard]] LevelId evaluate(const std::vector<uint64_t>& args) const;
+
+    /// True when every argument tuple maps to the same level — such a
+    /// function is effectively a constant and its applications never
+    /// change at run time.
+    [[nodiscard]] bool is_constant(const Lattice& lat, LevelId* level) const;
+
+    struct Entry {
+        std::vector<uint64_t> args;
+        LevelId level;
+    };
+    [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+private:
+    std::string name_;
+    std::vector<uint32_t> arg_widths_;
+    LevelId default_;
+    std::vector<Entry> entries_;
+};
+
+/// A complete security policy: the lattice plus the dependent-label
+/// function table. Owned by the elaborated design; referenced by the
+/// checker, solver, simulator, and verifier.
+class SecurityPolicy {
+public:
+    SecurityPolicy() = default;
+    explicit SecurityPolicy(Lattice lattice) : lattice_(std::move(lattice)) {}
+
+    Lattice& lattice() { return lattice_; }
+    [[nodiscard]] const Lattice& lattice() const { return lattice_; }
+
+    FuncId add_function(LabelFunction fn);
+    [[nodiscard]] std::optional<FuncId> find_function(std::string_view name) const;
+    [[nodiscard]] const LabelFunction& function(FuncId id) const {
+        return functions_[id];
+    }
+    [[nodiscard]] size_t function_count() const { return functions_.size(); }
+
+private:
+    Lattice lattice_;
+    std::vector<LabelFunction> functions_;
+};
+
+} // namespace svlc

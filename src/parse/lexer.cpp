@@ -1,0 +1,298 @@
+#include "parse/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace svlc {
+
+const char* tok_kind_name(TokKind k) {
+    switch (k) {
+    case TokKind::Eof: return "end of file";
+    case TokKind::Ident: return "identifier";
+    case TokKind::Number: return "number";
+    case TokKind::KwModule: return "'module'";
+    case TokKind::KwEndmodule: return "'endmodule'";
+    case TokKind::KwInput: return "'input'";
+    case TokKind::KwOutput: return "'output'";
+    case TokKind::KwWire: return "'wire'";
+    case TokKind::KwReg: return "'reg'";
+    case TokKind::KwCom: return "'com'";
+    case TokKind::KwSeq: return "'seq'";
+    case TokKind::KwAssign: return "'assign'";
+    case TokKind::KwAlways: return "'always'";
+    case TokKind::KwBegin: return "'begin'";
+    case TokKind::KwEnd: return "'end'";
+    case TokKind::KwIf: return "'if'";
+    case TokKind::KwElse: return "'else'";
+    case TokKind::KwCase: return "'case'";
+    case TokKind::KwEndcase: return "'endcase'";
+    case TokKind::KwDefault: return "'default'";
+    case TokKind::KwLocalparam: return "'localparam'";
+    case TokKind::KwParameter: return "'parameter'";
+    case TokKind::KwNext: return "'next'";
+    case TokKind::KwEndorse: return "'endorse'";
+    case TokKind::KwDeclassify: return "'declassify'";
+    case TokKind::KwAssume: return "'assume'";
+    case TokKind::KwLattice: return "'lattice'";
+    case TokKind::KwLevel: return "'level'";
+    case TokKind::KwFlow: return "'flow'";
+    case TokKind::KwFunction: return "'function'";
+    case TokKind::KwJoin: return "'join'";
+    case TokKind::KwPosedge: return "'posedge'";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::Semi: return "';'";
+    case TokKind::Colon: return "':'";
+    case TokKind::Comma: return "','";
+    case TokKind::Dot: return "'.'";
+    case TokKind::Hash: return "'#'";
+    case TokKind::Question: return "'?'";
+    case TokKind::At: return "'@'";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::Percent: return "'%'";
+    case TokKind::Amp: return "'&'";
+    case TokKind::Pipe: return "'|'";
+    case TokKind::Caret: return "'^'";
+    case TokKind::Tilde: return "'~'";
+    case TokKind::Bang: return "'!'";
+    case TokKind::AmpAmp: return "'&&'";
+    case TokKind::PipePipe: return "'||'";
+    case TokKind::EqEq: return "'=='";
+    case TokKind::BangEq: return "'!='";
+    case TokKind::Lt: return "'<'";
+    case TokKind::LtEq: return "'<='";
+    case TokKind::Gt: return "'>'";
+    case TokKind::GtEq: return "'>='";
+    case TokKind::Shl: return "'<<'";
+    case TokKind::Shr: return "'>>'";
+    case TokKind::Eq: return "'='";
+    case TokKind::Arrow: return "'->'";
+    }
+    return "?";
+}
+
+namespace {
+const std::unordered_map<std::string_view, TokKind>& keyword_table() {
+    static const std::unordered_map<std::string_view, TokKind> table = {
+        {"module", TokKind::KwModule},
+        {"endmodule", TokKind::KwEndmodule},
+        {"input", TokKind::KwInput},
+        {"output", TokKind::KwOutput},
+        {"wire", TokKind::KwWire},
+        {"reg", TokKind::KwReg},
+        {"com", TokKind::KwCom},
+        {"seq", TokKind::KwSeq},
+        {"assign", TokKind::KwAssign},
+        {"always", TokKind::KwAlways},
+        {"begin", TokKind::KwBegin},
+        {"end", TokKind::KwEnd},
+        {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},
+        {"case", TokKind::KwCase},
+        {"endcase", TokKind::KwEndcase},
+        {"default", TokKind::KwDefault},
+        {"localparam", TokKind::KwLocalparam},
+        {"parameter", TokKind::KwParameter},
+        {"next", TokKind::KwNext},
+        {"endorse", TokKind::KwEndorse},
+        {"declassify", TokKind::KwDeclassify},
+        {"assume", TokKind::KwAssume},
+        {"lattice", TokKind::KwLattice},
+        {"level", TokKind::KwLevel},
+        {"flow", TokKind::KwFlow},
+        {"function", TokKind::KwFunction},
+        {"join", TokKind::KwJoin},
+        {"posedge", TokKind::KwPosedge},
+    };
+    return table;
+}
+
+bool is_ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+} // namespace
+
+Lexer::Lexer(std::string_view text, uint32_t file_id, DiagnosticEngine& diags)
+    : text_(text), file_(file_id), diags_(diags) {}
+
+SourceLoc Lexer::loc() const { return {file_, line_, col_}; }
+
+char Lexer::peek(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+void Lexer::skip_trivia() {
+    while (!at_end()) {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!at_end() && peek() != '\n')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            SourceLoc start = loc();
+            advance();
+            advance();
+            bool closed = false;
+            while (!at_end()) {
+                if (peek() == '*' && peek(1) == '/') {
+                    advance();
+                    advance();
+                    closed = true;
+                    break;
+                }
+                advance();
+            }
+            if (!closed)
+                diags_.error(DiagCode::UnterminatedComment, start,
+                             "unterminated block comment");
+        } else {
+            break;
+        }
+    }
+}
+
+std::vector<Token> Lexer::lex_all() {
+    std::vector<Token> out;
+    for (;;) {
+        Token tok = next();
+        bool done = tok.kind == TokKind::Eof;
+        out.push_back(std::move(tok));
+        if (done)
+            return out;
+    }
+}
+
+Token Lexer::next() {
+    skip_trivia();
+    Token tok;
+    tok.loc = loc();
+    if (at_end()) {
+        tok.kind = TokKind::Eof;
+        return tok;
+    }
+    char c = peek();
+
+    if (is_ident_start(c)) {
+        std::string ident;
+        while (!at_end() && is_ident_char(peek()))
+            ident.push_back(advance());
+        auto it = keyword_table().find(ident);
+        tok.kind = it != keyword_table().end() ? it->second : TokKind::Ident;
+        tok.text = std::move(ident);
+        return tok;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string num;
+        while (!at_end() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) ||
+                peek() == '_' || peek() == '\''))
+            num.push_back(advance());
+        tok.kind = TokKind::Number;
+        tok.text = num;
+        tok.unsized = num.find('\'') == std::string::npos;
+        if (!BitVec::parse(num, tok.value)) {
+            diags_.error(DiagCode::BadNumericLiteral, tok.loc,
+                         "malformed numeric literal '" + num + "'");
+            tok.value = BitVec(1, 0);
+        }
+        return tok;
+    }
+
+    advance();
+    auto two = [&](char second, TokKind with, TokKind without) {
+        if (peek() == second) {
+            advance();
+            tok.kind = with;
+        } else {
+            tok.kind = without;
+        }
+    };
+    switch (c) {
+    case '(': tok.kind = TokKind::LParen; break;
+    case ')': tok.kind = TokKind::RParen; break;
+    case '[': tok.kind = TokKind::LBracket; break;
+    case ']': tok.kind = TokKind::RBracket; break;
+    case '{': tok.kind = TokKind::LBrace; break;
+    case '}': tok.kind = TokKind::RBrace; break;
+    case ';': tok.kind = TokKind::Semi; break;
+    case ':': tok.kind = TokKind::Colon; break;
+    case ',': tok.kind = TokKind::Comma; break;
+    case '.': tok.kind = TokKind::Dot; break;
+    case '#': tok.kind = TokKind::Hash; break;
+    case '?': tok.kind = TokKind::Question; break;
+    case '@': tok.kind = TokKind::At; break;
+    case '+': tok.kind = TokKind::Plus; break;
+    case '*': tok.kind = TokKind::Star; break;
+    case '/': tok.kind = TokKind::Slash; break;
+    case '%': tok.kind = TokKind::Percent; break;
+    case '^': tok.kind = TokKind::Caret; break;
+    case '~': tok.kind = TokKind::Tilde; break;
+    case '-':
+        two('>', TokKind::Arrow, TokKind::Minus);
+        break;
+    case '&':
+        two('&', TokKind::AmpAmp, TokKind::Amp);
+        break;
+    case '|':
+        two('|', TokKind::PipePipe, TokKind::Pipe);
+        break;
+    case '=':
+        two('=', TokKind::EqEq, TokKind::Eq);
+        break;
+    case '!':
+        two('=', TokKind::BangEq, TokKind::Bang);
+        break;
+    case '<':
+        if (peek() == '=') {
+            advance();
+            tok.kind = TokKind::LtEq;
+        } else if (peek() == '<') {
+            advance();
+            tok.kind = TokKind::Shl;
+        } else {
+            tok.kind = TokKind::Lt;
+        }
+        break;
+    case '>':
+        if (peek() == '=') {
+            advance();
+            tok.kind = TokKind::GtEq;
+        } else if (peek() == '>') {
+            advance();
+            tok.kind = TokKind::Shr;
+        } else {
+            tok.kind = TokKind::Gt;
+        }
+        break;
+    default:
+        diags_.error(DiagCode::UnexpectedChar, tok.loc,
+                     std::string("unexpected character '") + c + "'");
+        return next();
+    }
+    return tok;
+}
+
+} // namespace svlc

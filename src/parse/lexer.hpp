@@ -1,0 +1,72 @@
+// Hand-written lexer for SecVerilogLC: Verilog-style tokens plus the
+// security-specific keywords (com/seq, next, endorse/declassify, lattice,
+// function, assume, join).
+#pragma once
+
+#include "support/bitvec.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_location.hpp"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svlc {
+
+enum class TokKind {
+    Eof,
+    Ident,
+    Number, // Verilog literal; value/width in Token
+    // Keywords
+    KwModule, KwEndmodule, KwInput, KwOutput, KwWire, KwReg, KwCom, KwSeq,
+    KwAssign, KwAlways, KwBegin, KwEnd, KwIf, KwElse, KwCase, KwEndcase,
+    KwDefault, KwLocalparam, KwParameter, KwNext, KwEndorse, KwDeclassify,
+    KwAssume, KwLattice, KwLevel, KwFlow, KwFunction, KwJoin, KwPosedge,
+    // Punctuation
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Semi, Colon, Comma, Dot, Hash, Question, At,
+    // Operators
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    AmpAmp, PipePipe,
+    EqEq, BangEq, Lt, LtEq, Gt, GtEq,
+    Shl, Shr,
+    Eq, Arrow,
+};
+
+const char* tok_kind_name(TokKind k);
+
+struct Token {
+    TokKind kind = TokKind::Eof;
+    std::string text;
+    BitVec value;        // Number only
+    bool unsized = false; // Number only: written without width
+    SourceLoc loc;
+};
+
+/// Tokenizes a whole buffer up front. Lexing errors are reported through
+/// the diagnostic engine; the affected characters are skipped.
+class Lexer {
+public:
+    Lexer(std::string_view text, uint32_t file_id, DiagnosticEngine& diags);
+
+    /// Lexes the entire buffer; always ends with an Eof token.
+    std::vector<Token> lex_all();
+
+private:
+    Token next();
+    [[nodiscard]] char peek(size_t ahead = 0) const;
+    char advance();
+    [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+    [[nodiscard]] SourceLoc loc() const;
+    void skip_trivia();
+
+    std::string_view text_;
+    uint32_t file_;
+    DiagnosticEngine& diags_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t col_ = 1;
+};
+
+} // namespace svlc

@@ -1,0 +1,720 @@
+#include "parse/parser.hpp"
+
+#include <cassert>
+
+namespace svlc {
+
+using namespace ast;
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+    eof_.kind = TokKind::Eof;
+    if (tokens_.empty())
+        tokens_.push_back(eof_);
+}
+
+ast::CompilationUnit Parser::parse_text(std::string_view text,
+                                        SourceManager& sm,
+                                        DiagnosticEngine& diags,
+                                        std::string buffer_name) {
+    uint32_t id = sm.add_buffer(std::move(buffer_name), std::string(text));
+    Lexer lexer(sm.buffer_text(id), id, diags);
+    Parser parser(lexer.lex_all(), diags);
+    return parser.parse_unit();
+}
+
+const Token& Parser::peek(size_t ahead) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+    const Token& tok = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size())
+        ++pos_;
+    return tok;
+}
+
+bool Parser::accept(TokKind k) {
+    if (check(k)) {
+        advance();
+        return true;
+    }
+    return false;
+}
+
+const Token& Parser::expect(TokKind k) {
+    if (check(k))
+        return advance();
+    diags_.error(DiagCode::ExpectedToken, peek().loc,
+                 std::string("expected ") + tok_kind_name(k) + " but found " +
+                     tok_kind_name(peek().kind));
+    return eof_;
+}
+
+void Parser::synchronize_to(std::initializer_list<TokKind> kinds) {
+    while (!check(TokKind::Eof)) {
+        for (TokKind k : kinds)
+            if (check(k))
+                return;
+        advance();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unit & policy
+// ---------------------------------------------------------------------------
+
+ast::CompilationUnit Parser::parse_unit() {
+    CompilationUnit unit;
+    while (!check(TokKind::Eof)) {
+        if (check(TokKind::KwLattice)) {
+            unit.lattices.push_back(parse_lattice_decl());
+        } else if (check(TokKind::KwFunction)) {
+            unit.functions.push_back(parse_function_decl());
+        } else if (check(TokKind::KwModule)) {
+            unit.modules.push_back(parse_module());
+        } else {
+            diags_.error(DiagCode::UnexpectedToken, peek().loc,
+                         std::string("expected 'lattice', 'function', or "
+                                     "'module' but found ") +
+                             tok_kind_name(peek().kind));
+            synchronize_to({TokKind::KwLattice, TokKind::KwFunction,
+                            TokKind::KwModule});
+        }
+    }
+    return unit;
+}
+
+ast::LatticeDecl Parser::parse_lattice_decl() {
+    LatticeDecl decl;
+    decl.loc = peek().loc;
+    expect(TokKind::KwLattice);
+    expect(TokKind::LBrace);
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+        if (accept(TokKind::KwLevel)) {
+            decl.levels.push_back(expect(TokKind::Ident).text);
+            expect(TokKind::Semi);
+        } else if (accept(TokKind::KwFlow)) {
+            std::string lo = expect(TokKind::Ident).text;
+            expect(TokKind::Arrow);
+            std::string hi = expect(TokKind::Ident).text;
+            decl.flows.emplace_back(std::move(lo), std::move(hi));
+            expect(TokKind::Semi);
+        } else {
+            diags_.error(DiagCode::UnexpectedToken, peek().loc,
+                         "expected 'level' or 'flow' in lattice declaration");
+            synchronize_to({TokKind::Semi, TokKind::RBrace});
+            accept(TokKind::Semi);
+        }
+    }
+    expect(TokKind::RBrace);
+    return decl;
+}
+
+ast::FunctionDecl Parser::parse_function_decl() {
+    FunctionDecl decl;
+    decl.loc = peek().loc;
+    expect(TokKind::KwFunction);
+    decl.name = expect(TokKind::Ident).text;
+    expect(TokKind::LParen);
+    if (!check(TokKind::RParen)) {
+        do {
+            decl.arg_names.push_back(expect(TokKind::Ident).text);
+            expect(TokKind::Colon);
+            const Token& w = expect(TokKind::Number);
+            decl.arg_widths.push_back(
+                static_cast<uint32_t>(w.value.value()));
+        } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen);
+    expect(TokKind::LBrace);
+    while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+        FunctionEntry entry;
+        entry.loc = peek().loc;
+        if (accept(TokKind::KwDefault)) {
+            // default entry: no args
+        } else {
+            do {
+                entry.args.push_back(parse_expr());
+            } while (accept(TokKind::Comma));
+        }
+        expect(TokKind::Arrow);
+        entry.level = expect(TokKind::Ident).text;
+        expect(TokKind::Semi);
+        decl.entries.push_back(std::move(entry));
+    }
+    expect(TokKind::RBrace);
+    return decl;
+}
+
+// ---------------------------------------------------------------------------
+// Modules
+// ---------------------------------------------------------------------------
+
+ast::Module Parser::parse_module() {
+    Module mod;
+    mod.loc = peek().loc;
+    expect(TokKind::KwModule);
+    mod.name = expect(TokKind::Ident).text;
+    if (accept(TokKind::Hash)) {
+        expect(TokKind::LParen);
+        do {
+            parse_param_decl(mod, /*is_header=*/true);
+        } while (accept(TokKind::Comma));
+        expect(TokKind::RParen);
+    }
+    expect(TokKind::LParen);
+    if (!check(TokKind::RParen)) {
+        do {
+            parse_port_decl(mod);
+        } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen);
+    expect(TokKind::Semi);
+
+    while (!check(TokKind::KwEndmodule) && !check(TokKind::Eof)) {
+        switch (peek().kind) {
+        case TokKind::KwWire:
+        case TokKind::KwReg:
+            parse_net_decl(mod);
+            break;
+        case TokKind::KwLocalparam:
+        case TokKind::KwParameter:
+            parse_param_decl(mod, /*is_header=*/false);
+            expect(TokKind::Semi);
+            break;
+        case TokKind::KwAssign:
+            parse_continuous_assign(mod);
+            break;
+        case TokKind::KwAlways:
+            parse_always_block(mod);
+            break;
+        case TokKind::Ident:
+            parse_instance(mod);
+            break;
+        default:
+            diags_.error(DiagCode::UnexpectedToken, peek().loc,
+                         std::string("unexpected ") +
+                             tok_kind_name(peek().kind) + " in module body");
+            synchronize_to({TokKind::Semi, TokKind::KwEndmodule});
+            accept(TokKind::Semi);
+            break;
+        }
+    }
+    expect(TokKind::KwEndmodule);
+    return mod;
+}
+
+void Parser::parse_param_decl(ast::Module& mod, bool is_header) {
+    if (is_header)
+        expect(TokKind::KwParameter);
+    else
+        advance(); // localparam or parameter
+    ParamDecl param;
+    param.loc = peek().loc;
+    param.name = expect(TokKind::Ident).text;
+    expect(TokKind::Eq);
+    param.value = parse_expr();
+    mod.params.push_back(std::move(param));
+}
+
+void Parser::parse_port_decl(ast::Module& mod) {
+    NetDecl net;
+    net.loc = peek().loc;
+    if (accept(TokKind::KwInput))
+        net.dir = PortDir::Input;
+    else if (accept(TokKind::KwOutput))
+        net.dir = PortDir::Output;
+    else
+        diags_.error(DiagCode::ExpectedToken, peek().loc,
+                     "expected 'input' or 'output' in port list");
+    // Optional wire/reg keyword.
+    if (accept(TokKind::KwWire))
+        net.kind = NetKind::Com;
+    else if (accept(TokKind::KwReg))
+        net.kind = NetKind::Seq;
+    // com/seq annotation.
+    if (accept(TokKind::KwCom))
+        net.kind = NetKind::Com;
+    else if (accept(TokKind::KwSeq))
+        net.kind = NetKind::Seq;
+    if (accept(TokKind::LBracket)) {
+        net.width_msb = parse_expr();
+        expect(TokKind::Colon);
+        net.width_lsb = parse_expr();
+        expect(TokKind::RBracket);
+    }
+    if (check(TokKind::LBrace))
+        net.label = parse_label_braces();
+    net.name = expect(TokKind::Ident).text;
+    mod.port_order.push_back(net.name);
+    mod.nets.push_back(std::move(net));
+}
+
+void Parser::parse_net_decl(ast::Module& mod) {
+    NetKind base_kind =
+        peek().kind == TokKind::KwReg ? NetKind::Seq : NetKind::Com;
+    advance(); // wire / reg
+    if (accept(TokKind::KwCom))
+        base_kind = NetKind::Com;
+    else if (accept(TokKind::KwSeq))
+        base_kind = NetKind::Seq;
+
+    // Shared width/label that declarators inherit unless they restate one.
+    ExprPtr shared_msb, shared_lsb;
+    LabelPtr shared_label;
+    bool first = true;
+    do {
+        NetDecl net;
+        net.loc = peek().loc;
+        net.kind = base_kind;
+        if (accept(TokKind::LBracket)) {
+            net.width_msb = parse_expr();
+            expect(TokKind::Colon);
+            net.width_lsb = parse_expr();
+            expect(TokKind::RBracket);
+        } else if (!first && shared_msb) {
+            net.width_msb = clone(*shared_msb);
+            net.width_lsb = clone(*shared_lsb);
+        }
+        if (check(TokKind::LBrace))
+            net.label = parse_label_braces();
+        else if (!first && shared_label)
+            net.label = clone(*shared_label);
+        net.name = expect(TokKind::Ident).text;
+        if (accept(TokKind::LBracket)) {
+            net.array_lo = parse_expr();
+            expect(TokKind::Colon);
+            net.array_hi = parse_expr();
+            expect(TokKind::RBracket);
+        }
+        if (accept(TokKind::Eq))
+            net.init = parse_expr();
+        if (first) {
+            shared_msb = net.width_msb ? clone(*net.width_msb) : nullptr;
+            shared_lsb = net.width_lsb ? clone(*net.width_lsb) : nullptr;
+            shared_label = net.label ? clone(*net.label) : nullptr;
+            first = false;
+        }
+        mod.nets.push_back(std::move(net));
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semi);
+}
+
+void Parser::parse_continuous_assign(ast::Module& mod) {
+    ContinuousAssign ca;
+    ca.loc = peek().loc;
+    expect(TokKind::KwAssign);
+    ca.lhs = parse_lvalue();
+    expect(TokKind::Eq);
+    ca.rhs = parse_expr();
+    expect(TokKind::Semi);
+    mod.assigns.push_back(std::move(ca));
+}
+
+void Parser::parse_always_block(ast::Module& mod) {
+    AlwaysBlock blk;
+    blk.loc = peek().loc;
+    expect(TokKind::KwAlways);
+    expect(TokKind::At);
+    expect(TokKind::LParen);
+    if (accept(TokKind::KwSeq)) {
+        blk.kind = AlwaysKind::Seq;
+    } else if (accept(TokKind::KwPosedge)) {
+        // `always @(posedge clk)` accepted as a synonym for @(seq); the
+        // clock is implicit in SecVerilogLC.
+        expect(TokKind::Ident);
+        blk.kind = AlwaysKind::Seq;
+    } else if (accept(TokKind::Star) || accept(TokKind::KwCom)) {
+        blk.kind = AlwaysKind::Comb;
+    } else {
+        diags_.error(DiagCode::ExpectedToken, peek().loc,
+                     "expected 'seq', 'com', '*', or 'posedge clk' in "
+                     "always sensitivity");
+        blk.kind = AlwaysKind::Comb;
+    }
+    expect(TokKind::RParen);
+    blk.body = parse_stmt();
+    mod.always_blocks.push_back(std::move(blk));
+}
+
+void Parser::parse_instance(ast::Module& mod) {
+    Instance inst;
+    inst.loc = peek().loc;
+    inst.module_name = expect(TokKind::Ident).text;
+    if (accept(TokKind::Hash)) {
+        expect(TokKind::LParen);
+        do {
+            ParamOverride po;
+            po.loc = peek().loc;
+            expect(TokKind::Dot);
+            po.name = expect(TokKind::Ident).text;
+            expect(TokKind::LParen);
+            po.value = parse_expr();
+            expect(TokKind::RParen);
+            inst.params.push_back(std::move(po));
+        } while (accept(TokKind::Comma));
+        expect(TokKind::RParen);
+    }
+    inst.instance_name = expect(TokKind::Ident).text;
+    expect(TokKind::LParen);
+    if (!check(TokKind::RParen)) {
+        do {
+            PortConnection conn;
+            conn.loc = peek().loc;
+            expect(TokKind::Dot);
+            conn.port_name = expect(TokKind::Ident).text;
+            expect(TokKind::LParen);
+            conn.expr = parse_expr();
+            expect(TokKind::RParen);
+            inst.connections.push_back(std::move(conn));
+        } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen);
+    expect(TokKind::Semi);
+    mod.instances.push_back(std::move(inst));
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+ast::StmtPtr Parser::parse_stmt() {
+    switch (peek().kind) {
+    case TokKind::KwBegin:
+        return parse_block();
+    case TokKind::KwIf:
+        return parse_if();
+    case TokKind::KwCase:
+        return parse_case();
+    case TokKind::KwAssume: {
+        SourceLoc loc = peek().loc;
+        advance();
+        expect(TokKind::LParen);
+        auto pred = parse_expr();
+        expect(TokKind::RParen);
+        expect(TokKind::Semi);
+        return std::make_unique<AssumeStmt>(std::move(pred), loc);
+    }
+    case TokKind::Semi: {
+        SourceLoc loc = peek().loc;
+        advance();
+        return std::make_unique<SkipStmt>(loc);
+    }
+    case TokKind::Ident:
+        return parse_assign_stmt();
+    default:
+        diags_.error(DiagCode::UnexpectedToken, peek().loc,
+                     std::string("expected statement but found ") +
+                         tok_kind_name(peek().kind));
+        synchronize_to({TokKind::Semi, TokKind::KwEnd, TokKind::KwEndmodule});
+        accept(TokKind::Semi);
+        return std::make_unique<SkipStmt>(peek().loc);
+    }
+}
+
+ast::StmtPtr Parser::parse_block() {
+    SourceLoc loc = peek().loc;
+    expect(TokKind::KwBegin);
+    std::vector<StmtPtr> stmts;
+    while (!check(TokKind::KwEnd) && !check(TokKind::Eof))
+        stmts.push_back(parse_stmt());
+    expect(TokKind::KwEnd);
+    return std::make_unique<BlockStmt>(std::move(stmts), loc);
+}
+
+ast::StmtPtr Parser::parse_if() {
+    SourceLoc loc = peek().loc;
+    expect(TokKind::KwIf);
+    expect(TokKind::LParen);
+    auto cond = parse_expr();
+    expect(TokKind::RParen);
+    auto then_stmt = parse_stmt();
+    StmtPtr else_stmt;
+    if (accept(TokKind::KwElse))
+        else_stmt = parse_stmt();
+    return std::make_unique<IfStmt>(std::move(cond), std::move(then_stmt),
+                                    std::move(else_stmt), loc);
+}
+
+ast::StmtPtr Parser::parse_case() {
+    SourceLoc loc = peek().loc;
+    expect(TokKind::KwCase);
+    expect(TokKind::LParen);
+    auto subject = parse_expr();
+    expect(TokKind::RParen);
+    std::vector<CaseItem> items;
+    while (!check(TokKind::KwEndcase) && !check(TokKind::Eof)) {
+        CaseItem item;
+        if (accept(TokKind::KwDefault)) {
+            expect(TokKind::Colon);
+        } else {
+            do {
+                item.values.push_back(parse_expr());
+            } while (accept(TokKind::Comma));
+            expect(TokKind::Colon);
+        }
+        item.body = parse_stmt();
+        items.push_back(std::move(item));
+    }
+    expect(TokKind::KwEndcase);
+    return std::make_unique<CaseStmt>(std::move(subject), std::move(items),
+                                      loc);
+}
+
+ast::LValue Parser::parse_lvalue() {
+    LValue lv;
+    lv.loc = peek().loc;
+    lv.name = expect(TokKind::Ident).text;
+    if (accept(TokKind::LBracket)) {
+        auto first = parse_expr();
+        if (accept(TokKind::Colon)) {
+            lv.range_msb = std::move(first);
+            lv.range_lsb = parse_expr();
+        } else {
+            lv.index = std::move(first);
+        }
+        expect(TokKind::RBracket);
+        // A second bracket after an array index is a part-select.
+        if (lv.index && accept(TokKind::LBracket)) {
+            lv.range_msb = parse_expr();
+            expect(TokKind::Colon);
+            lv.range_lsb = parse_expr();
+            expect(TokKind::RBracket);
+        }
+    }
+    return lv;
+}
+
+ast::StmtPtr Parser::parse_assign_stmt() {
+    SourceLoc loc = peek().loc;
+    LValue lv = parse_lvalue();
+    AssignOp op;
+    if (accept(TokKind::Eq)) {
+        op = AssignOp::Blocking;
+    } else if (accept(TokKind::LtEq)) {
+        op = AssignOp::NonBlocking;
+    } else {
+        diags_.error(DiagCode::ExpectedToken, peek().loc,
+                     "expected '=' or '<=' in assignment");
+        synchronize_to({TokKind::Semi, TokKind::KwEnd});
+        accept(TokKind::Semi);
+        return std::make_unique<SkipStmt>(loc);
+    }
+    auto rhs = parse_expr();
+    expect(TokKind::Semi);
+    return std::make_unique<AssignStmt>(std::move(lv), op, std::move(rhs), loc);
+}
+
+// ---------------------------------------------------------------------------
+// Labels
+// ---------------------------------------------------------------------------
+
+ast::LabelPtr Parser::parse_label_braces() {
+    expect(TokKind::LBrace);
+    auto label = parse_label_expr();
+    expect(TokKind::RBrace);
+    return label;
+}
+
+ast::LabelPtr Parser::parse_label_expr() {
+    auto lhs = parse_label_atom();
+    while (accept(TokKind::KwJoin)) {
+        SourceLoc loc = peek().loc;
+        auto rhs = parse_label_atom();
+        lhs = Label::join(std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+}
+
+ast::LabelPtr Parser::parse_label_atom() {
+    if (accept(TokKind::LParen)) {
+        auto inner = parse_label_expr();
+        expect(TokKind::RParen);
+        return inner;
+    }
+    SourceLoc loc = peek().loc;
+    std::string name = expect(TokKind::Ident).text;
+    if (accept(TokKind::LParen)) {
+        std::vector<ExprPtr> args;
+        if (!check(TokKind::RParen)) {
+            do {
+                args.push_back(parse_expr());
+            } while (accept(TokKind::Comma));
+        }
+        expect(TokKind::RParen);
+        return Label::func(std::move(name), std::move(args), loc);
+    }
+    return Label::level(std::move(name), loc);
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ast::ExprPtr Parser::parse_expr() { return parse_ternary(); }
+
+ast::ExprPtr Parser::parse_ternary() {
+    auto cond = parse_binary(0);
+    if (accept(TokKind::Question)) {
+        SourceLoc loc = peek().loc;
+        auto then_expr = parse_ternary();
+        expect(TokKind::Colon);
+        auto else_expr = parse_ternary();
+        return std::make_unique<CondExpr>(std::move(cond),
+                                          std::move(then_expr),
+                                          std::move(else_expr), loc);
+    }
+    return cond;
+}
+
+namespace {
+struct BinOpInfo {
+    BinaryOp op;
+    int prec;
+};
+
+std::optional<BinOpInfo> binop_info(TokKind k) {
+    switch (k) {
+    case TokKind::PipePipe: return BinOpInfo{BinaryOp::LogOr, 1};
+    case TokKind::AmpAmp: return BinOpInfo{BinaryOp::LogAnd, 2};
+    case TokKind::Pipe: return BinOpInfo{BinaryOp::Or, 3};
+    case TokKind::Caret: return BinOpInfo{BinaryOp::Xor, 4};
+    case TokKind::Amp: return BinOpInfo{BinaryOp::And, 5};
+    case TokKind::EqEq: return BinOpInfo{BinaryOp::Eq, 6};
+    case TokKind::BangEq: return BinOpInfo{BinaryOp::Ne, 6};
+    case TokKind::Lt: return BinOpInfo{BinaryOp::Lt, 7};
+    case TokKind::LtEq: return BinOpInfo{BinaryOp::Le, 7};
+    case TokKind::Gt: return BinOpInfo{BinaryOp::Gt, 7};
+    case TokKind::GtEq: return BinOpInfo{BinaryOp::Ge, 7};
+    case TokKind::Shl: return BinOpInfo{BinaryOp::Shl, 8};
+    case TokKind::Shr: return BinOpInfo{BinaryOp::Shr, 8};
+    case TokKind::Plus: return BinOpInfo{BinaryOp::Add, 9};
+    case TokKind::Minus: return BinOpInfo{BinaryOp::Sub, 9};
+    case TokKind::Star: return BinOpInfo{BinaryOp::Mul, 10};
+    case TokKind::Slash: return BinOpInfo{BinaryOp::Div, 10};
+    case TokKind::Percent: return BinOpInfo{BinaryOp::Mod, 10};
+    default: return std::nullopt;
+    }
+}
+} // namespace
+
+ast::ExprPtr Parser::parse_binary(int min_prec) {
+    auto lhs = parse_unary();
+    for (;;) {
+        auto info = binop_info(peek().kind);
+        if (!info || info->prec < min_prec)
+            return lhs;
+        SourceLoc loc = peek().loc;
+        advance();
+        auto rhs = parse_binary(info->prec + 1);
+        lhs = std::make_unique<BinaryExpr>(info->op, std::move(lhs),
+                                           std::move(rhs), loc);
+    }
+}
+
+ast::ExprPtr Parser::parse_unary() {
+    SourceLoc loc = peek().loc;
+    switch (peek().kind) {
+    case TokKind::Minus:
+        advance();
+        return std::make_unique<UnaryExpr>(UnaryOp::Neg, parse_unary(), loc);
+    case TokKind::Tilde:
+        advance();
+        return std::make_unique<UnaryExpr>(UnaryOp::BitNot, parse_unary(), loc);
+    case TokKind::Bang:
+        advance();
+        return std::make_unique<UnaryExpr>(UnaryOp::LogNot, parse_unary(), loc);
+    case TokKind::Amp:
+        advance();
+        return std::make_unique<UnaryExpr>(UnaryOp::RedAnd, parse_unary(), loc);
+    case TokKind::Pipe:
+        advance();
+        return std::make_unique<UnaryExpr>(UnaryOp::RedOr, parse_unary(), loc);
+    case TokKind::Caret:
+        advance();
+        return std::make_unique<UnaryExpr>(UnaryOp::RedXor, parse_unary(), loc);
+    default:
+        return parse_postfix();
+    }
+}
+
+ast::ExprPtr Parser::parse_postfix() {
+    auto expr = parse_primary();
+    while (check(TokKind::LBracket)) {
+        SourceLoc loc = peek().loc;
+        advance();
+        auto first = parse_expr();
+        if (accept(TokKind::Colon)) {
+            auto lsb = parse_expr();
+            expect(TokKind::RBracket);
+            expr = std::make_unique<RangeExpr>(std::move(expr),
+                                               std::move(first),
+                                               std::move(lsb), loc);
+        } else {
+            expect(TokKind::RBracket);
+            expr = std::make_unique<IndexExpr>(std::move(expr),
+                                               std::move(first), loc);
+        }
+    }
+    return expr;
+}
+
+ast::ExprPtr Parser::parse_primary() {
+    SourceLoc loc = peek().loc;
+    switch (peek().kind) {
+    case TokKind::Number: {
+        const Token& tok = advance();
+        return std::make_unique<NumberExpr>(tok.value, tok.unsized, loc);
+    }
+    case TokKind::Ident: {
+        const Token& tok = advance();
+        return std::make_unique<IdentExpr>(tok.text, loc);
+    }
+    case TokKind::LParen: {
+        advance();
+        auto inner = parse_expr();
+        expect(TokKind::RParen);
+        return inner;
+    }
+    case TokKind::LBrace: {
+        advance();
+        std::vector<ExprPtr> parts;
+        do {
+            parts.push_back(parse_expr());
+        } while (accept(TokKind::Comma));
+        expect(TokKind::RBrace);
+        return std::make_unique<ConcatExpr>(std::move(parts), loc);
+    }
+    case TokKind::KwNext: {
+        advance();
+        expect(TokKind::LParen);
+        auto inner = parse_expr();
+        expect(TokKind::RParen);
+        return std::make_unique<NextExpr>(std::move(inner), loc);
+    }
+    case TokKind::KwEndorse:
+    case TokKind::KwDeclassify: {
+        DowngradeKind kind = peek().kind == TokKind::KwEndorse
+                                 ? DowngradeKind::Endorse
+                                 : DowngradeKind::Declassify;
+        advance();
+        expect(TokKind::LParen);
+        auto inner = parse_expr();
+        expect(TokKind::Comma);
+        auto target = parse_label_expr();
+        expect(TokKind::RParen);
+        return std::make_unique<DowngradeExpr>(kind, std::move(inner),
+                                               std::move(target), loc);
+    }
+    default:
+        diags_.error(DiagCode::UnexpectedToken, loc,
+                     std::string("expected expression but found ") +
+                         tok_kind_name(peek().kind));
+        advance();
+        return std::make_unique<NumberExpr>(BitVec(1, 0), true, loc);
+    }
+}
+
+} // namespace svlc

@@ -1,0 +1,79 @@
+// Recursive-descent parser producing the parse-level AST.
+#pragma once
+
+#include "ast/ast.hpp"
+#include "parse/lexer.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_manager.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace svlc {
+
+/// Parses one buffer into a CompilationUnit. On syntax errors the parser
+/// reports through the diagnostic engine and recovers at statement/item
+/// boundaries, so one pass can report multiple errors.
+class Parser {
+public:
+    Parser(std::vector<Token> tokens, DiagnosticEngine& diags);
+
+    ast::CompilationUnit parse_unit();
+
+    /// Convenience: lex + parse a source string.
+    static ast::CompilationUnit parse_text(std::string_view text,
+                                           SourceManager& sm,
+                                           DiagnosticEngine& diags,
+                                           std::string buffer_name = "<input>");
+
+private:
+    // Token helpers.
+    [[nodiscard]] const Token& peek(size_t ahead = 0) const;
+    const Token& advance();
+    [[nodiscard]] bool check(TokKind k) const { return peek().kind == k; }
+    bool accept(TokKind k);
+    const Token& expect(TokKind k);
+    void synchronize_to(std::initializer_list<TokKind> kinds);
+
+    // Policy.
+    ast::LatticeDecl parse_lattice_decl();
+    ast::FunctionDecl parse_function_decl();
+
+    // Modules.
+    ast::Module parse_module();
+    void parse_port_decl(ast::Module& mod);
+    void parse_net_decl(ast::Module& mod);
+    void parse_param_decl(ast::Module& mod, bool is_header);
+    void parse_continuous_assign(ast::Module& mod);
+    void parse_always_block(ast::Module& mod);
+    void parse_instance(ast::Module& mod);
+
+    // Statements.
+    ast::StmtPtr parse_stmt();
+    ast::StmtPtr parse_block();
+    ast::StmtPtr parse_if();
+    ast::StmtPtr parse_case();
+    ast::StmtPtr parse_assign_stmt();
+    ast::LValue parse_lvalue();
+
+    // Labels.
+    ast::LabelPtr parse_label_braces(); // '{' label '}'
+    ast::LabelPtr parse_label_expr();
+    ast::LabelPtr parse_label_atom();
+
+    // Expressions (precedence climbing).
+    ast::ExprPtr parse_expr();
+    ast::ExprPtr parse_ternary();
+    ast::ExprPtr parse_binary(int min_prec);
+    ast::ExprPtr parse_unary();
+    ast::ExprPtr parse_postfix();
+    ast::ExprPtr parse_primary();
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    DiagnosticEngine& diags_;
+    Token eof_;
+};
+
+} // namespace svlc

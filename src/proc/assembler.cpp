@@ -1,0 +1,353 @@
+#include "proc/assembler.hpp"
+
+#include "proc/isa.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+namespace svlc::proc {
+
+namespace {
+
+struct Line {
+    int number;
+    std::string label;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+std::string trim(const std::string& s) {
+    size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+bool parse_lines(const std::string& source, std::vector<Line>& out,
+                 std::string& error) {
+    std::istringstream is(source);
+    std::string raw;
+    int number = 0;
+    while (std::getline(is, raw)) {
+        ++number;
+        // Strip comments (# or //).
+        size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw = raw.substr(0, hash);
+        size_t slashes = raw.find("//");
+        if (slashes != std::string::npos)
+            raw = raw.substr(0, slashes);
+        std::string text = trim(raw);
+        if (text.empty())
+            continue;
+        Line line;
+        line.number = number;
+        size_t colon = text.find(':');
+        if (colon != std::string::npos &&
+            text.find_first_of(" \t") > colon) {
+            line.label = trim(text.substr(0, colon));
+            text = trim(text.substr(colon + 1));
+            if (line.label.empty()) {
+                error = "line " + std::to_string(number) + ": empty label";
+                return false;
+            }
+        }
+        if (!text.empty()) {
+            size_t sp = text.find_first_of(" \t");
+            line.mnemonic = text.substr(0, sp);
+            if (sp != std::string::npos) {
+                std::string rest = trim(text.substr(sp));
+                std::string cur;
+                int paren = 0;
+                for (char c : rest) {
+                    if (c == '(')
+                        ++paren;
+                    if (c == ')')
+                        --paren;
+                    if (c == ',' && paren == 0) {
+                        line.operands.push_back(trim(cur));
+                        cur.clear();
+                    } else {
+                        cur.push_back(c);
+                    }
+                }
+                if (!trim(cur).empty())
+                    line.operands.push_back(trim(cur));
+            }
+        }
+        out.push_back(std::move(line));
+    }
+    return true;
+}
+
+std::optional<uint32_t> parse_reg(const std::string& s) {
+    if (s.size() < 2 || s[0] != '$')
+        return std::nullopt;
+    uint32_t n = 0;
+    for (size_t i = 1; i < s.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(s[i])))
+            return std::nullopt;
+        n = n * 10 + static_cast<uint32_t>(s[i] - '0');
+    }
+    if (n >= ArchParams::kNumRegs)
+        return std::nullopt;
+    return n;
+}
+
+std::optional<int64_t> parse_int(const std::string& s) {
+    if (s.empty())
+        return std::nullopt;
+    size_t i = 0;
+    bool neg = false;
+    if (s[0] == '-') {
+        neg = true;
+        i = 1;
+    }
+    int base = 10;
+    if (s.size() > i + 1 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+    }
+    if (i >= s.size())
+        return std::nullopt;
+    int64_t v = 0;
+    for (; i < s.size(); ++i) {
+        char c = static_cast<char>(std::tolower(static_cast<unsigned char>(s[i])));
+        int d;
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else
+            return std::nullopt;
+        if (d >= base)
+            return std::nullopt;
+        v = v * base + d;
+    }
+    return neg ? -v : v;
+}
+
+} // namespace
+
+AsmResult assemble(const std::string& source) {
+    AsmResult result;
+    std::vector<Line> lines;
+    if (!parse_lines(source, lines, result.error))
+        return result;
+
+    auto fail = [&](const Line& line, const std::string& msg) {
+        result.error = "line " + std::to_string(line.number) + ": " + msg;
+        result.ok = false;
+        return result;
+    };
+
+    // Pass 1: compute addresses and collect labels.
+    uint32_t addr = 0;
+    for (const Line& line : lines) {
+        if (!line.label.empty()) {
+            if (result.labels.count(line.label))
+                return fail(line, "duplicate label '" + line.label + "'");
+            result.labels[line.label] = addr;
+        }
+        if (line.mnemonic.empty())
+            continue;
+        if (line.mnemonic == ".org") {
+            if (line.operands.size() != 1)
+                return fail(line, ".org needs one operand");
+            auto v = parse_int(line.operands[0]);
+            if (!v || *v < 0 || (*v & 3))
+                return fail(line, "bad .org address");
+            addr = static_cast<uint32_t>(*v);
+            // A label on the same line binds to the new origin.
+            if (!line.label.empty())
+                result.labels[line.label] = addr;
+            continue;
+        }
+        addr += 4;
+    }
+
+    // Pass 2: encode.
+    auto resolve = [&](const Line& line, const std::string& s,
+                       std::optional<int64_t>& out) {
+        if (auto v = parse_int(s)) {
+            out = *v;
+            return true;
+        }
+        auto it = result.labels.find(s);
+        if (it != result.labels.end()) {
+            out = it->second;
+            return true;
+        }
+        result.error = "line " + std::to_string(line.number) +
+                       ": unknown symbol '" + s + "'";
+        return false;
+    };
+
+    std::vector<uint32_t>& mem = result.words;
+    auto emit = [&](uint32_t at, uint32_t word) {
+        uint32_t idx = at / 4;
+        if (mem.size() <= idx)
+            mem.resize(idx + 1, kNop);
+        mem[idx] = word;
+    };
+
+    addr = 0;
+    for (const Line& line : lines) {
+        if (line.mnemonic.empty())
+            continue;
+        const std::string& m = line.mnemonic;
+        const auto& ops = line.operands;
+        auto need = [&](size_t n) { return ops.size() == n; };
+
+        if (m == ".org") {
+            std::optional<int64_t> v;
+            if (!resolve(line, ops[0], v))
+                return result;
+            addr = static_cast<uint32_t>(*v);
+            continue;
+        }
+        if (m == ".word") {
+            if (!need(1))
+                return fail(line, ".word needs one operand");
+            std::optional<int64_t> v;
+            if (!resolve(line, ops[0], v))
+                return result;
+            emit(addr, static_cast<uint32_t>(*v));
+            addr += 4;
+            continue;
+        }
+
+        uint32_t word = 0;
+        auto rrr = [&](Funct f) -> bool {
+            if (!need(3))
+                return false;
+            auto rd = parse_reg(ops[0]), rs = parse_reg(ops[1]),
+                 rt = parse_reg(ops[2]);
+            if (!rd || !rs || !rt)
+                return false;
+            word = enc_r(f, *rd, *rs, *rt);
+            return true;
+        };
+        auto shift = [&](Funct f) -> bool {
+            if (!need(3))
+                return false;
+            auto rd = parse_reg(ops[0]), rt = parse_reg(ops[1]);
+            auto sh = parse_int(ops[2]);
+            if (!rd || !rt || !sh)
+                return false;
+            word = enc_shift(f, *rd, *rt, static_cast<uint32_t>(*sh));
+            return true;
+        };
+        auto itype = [&](Opcode op) -> bool {
+            if (!need(3))
+                return false;
+            auto rt = parse_reg(ops[0]), rs = parse_reg(ops[1]);
+            std::optional<int64_t> imm;
+            if (!rt || !rs || !resolve(line, ops[2], imm))
+                return false;
+            word = enc_i(op, *rt, *rs, static_cast<uint16_t>(*imm));
+            return true;
+        };
+        auto memop = [&](Opcode op) -> bool {
+            // lw $t, off($b)
+            if (!need(2))
+                return false;
+            auto rt = parse_reg(ops[0]);
+            size_t lp = ops[1].find('(');
+            size_t rp = ops[1].find(')');
+            if (!rt || lp == std::string::npos || rp == std::string::npos)
+                return false;
+            auto off = parse_int(trim(ops[1].substr(0, lp)));
+            auto rs = parse_reg(trim(ops[1].substr(lp + 1, rp - lp - 1)));
+            if (!off || !rs)
+                return false;
+            word = enc_i(op, *rt, *rs, static_cast<uint16_t>(*off));
+            return true;
+        };
+        auto branch = [&](Opcode op) -> bool {
+            if (!need(3))
+                return false;
+            auto rs = parse_reg(ops[0]), rt = parse_reg(ops[1]);
+            std::optional<int64_t> target;
+            if (!rs || !rt || !resolve(line, ops[2], target))
+                return false;
+            int64_t offset;
+            if (result.labels.count(ops[2]))
+                offset = (*target - (static_cast<int64_t>(addr) + 4)) / 4;
+            else
+                offset = *target; // literal offsets are raw
+            word = enc_i(op, *rt, *rs, static_cast<uint16_t>(offset));
+            return true;
+        };
+
+        bool ok = false;
+        if (m == "addu") ok = rrr(Funct::Addu);
+        else if (m == "subu") ok = rrr(Funct::Subu);
+        else if (m == "and") ok = rrr(Funct::And);
+        else if (m == "or") ok = rrr(Funct::Or);
+        else if (m == "xor") ok = rrr(Funct::Xor);
+        else if (m == "nor") ok = rrr(Funct::Nor);
+        else if (m == "slt") ok = rrr(Funct::Slt);
+        else if (m == "sltu") ok = rrr(Funct::Sltu);
+        else if (m == "sll") ok = shift(Funct::Sll);
+        else if (m == "srl") ok = shift(Funct::Srl);
+        else if (m == "addiu") ok = itype(Opcode::Addiu);
+        else if (m == "slti") ok = itype(Opcode::Slti);
+        else if (m == "andi") ok = itype(Opcode::Andi);
+        else if (m == "ori") ok = itype(Opcode::Ori);
+        else if (m == "xori") ok = itype(Opcode::Xori);
+        else if (m == "lw") ok = memop(Opcode::Lw);
+        else if (m == "sw") ok = memop(Opcode::Sw);
+        else if (m == "beq") ok = branch(Opcode::Beq);
+        else if (m == "bne") ok = branch(Opcode::Bne);
+        else if (m == "lui") {
+            if (need(2)) {
+                auto rt = parse_reg(ops[0]);
+                auto imm = parse_int(ops[1]);
+                if (rt && imm) {
+                    word = enc_i(Opcode::Lui, *rt, 0,
+                                 static_cast<uint16_t>(*imm));
+                    ok = true;
+                }
+            }
+        } else if (m == "j" || m == "jal") {
+            if (need(1)) {
+                std::optional<int64_t> target;
+                if (!resolve(line, ops[0], target))
+                    return result;
+                word = enc_j(m == "j" ? Opcode::J : Opcode::Jal,
+                             static_cast<uint32_t>(*target / 4));
+                ok = true;
+            }
+        } else if (m == "jr") {
+            if (need(1)) {
+                auto rs = parse_reg(ops[0]);
+                if (rs) {
+                    word = enc_jr(*rs);
+                    ok = true;
+                }
+            }
+        } else if (m == "syscall") {
+            word = enc_syscall();
+            ok = need(0);
+        } else if (m == "sysret") {
+            word = enc_sysret();
+            ok = need(0);
+        } else if (m == "nop") {
+            word = kNop;
+            ok = need(0);
+        } else {
+            return fail(line, "unknown mnemonic '" + m + "'");
+        }
+        if (!ok)
+            return fail(line, "bad operands for '" + m + "'");
+        emit(addr, word);
+        addr += 4;
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace svlc::proc

@@ -1,0 +1,24 @@
+// Two-pass assembler for the MIPS subset: labels, `.org`/`.word`
+// directives, decimal/hex immediates, `$n` register syntax. Used by the
+// functional test-vector suite, the examples, and the benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace svlc::proc {
+
+struct AsmResult {
+    bool ok = false;
+    std::string error; // first error, with line number
+    std::vector<uint32_t> words; // image starting at word 0
+    std::map<std::string, uint32_t> labels; // name -> byte address
+};
+
+/// Assembles `source`. The image covers [0, highest emitted word]; gaps
+/// introduced by `.org` are zero (NOP) filled.
+AsmResult assemble(const std::string& source);
+
+} // namespace svlc::proc

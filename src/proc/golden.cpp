@@ -1,0 +1,164 @@
+#include "proc/golden.hpp"
+
+namespace svlc::proc {
+
+GoldenCpu::GoldenCpu() { reset(); }
+
+void GoldenCpu::reset() {
+    pc_ = ArchParams::kResetPc;
+    mode_ = 0;
+    epc_ = 0;
+    regs_.fill(0);
+    dmem_k_.fill(0);
+    dmem_u_.fill(0);
+    net_in_ = 0;
+    net_out_ = 0;
+    instret_ = 0;
+}
+
+void GoldenCpu::load_kernel(const std::vector<uint32_t>& words) {
+    imem_k_.fill(kNop);
+    for (size_t i = 0; i < words.size() && i < imem_k_.size(); ++i)
+        imem_k_[i] = words[i];
+}
+
+void GoldenCpu::load_user(const std::vector<uint32_t>& words) {
+    imem_u_.fill(kNop);
+    for (size_t i = 0; i < words.size() && i < imem_u_.size(); ++i)
+        imem_u_[i] = words[i];
+}
+
+void GoldenCpu::load_program(const std::vector<uint32_t>& words) {
+    load_kernel(words);
+    load_user(words);
+}
+
+void GoldenCpu::step() {
+    const auto& bank = mode_ == 0 ? imem_k_ : imem_u_;
+    Instr ins{bank[(pc_ >> 2) % ArchParams::kImemWords]};
+    uint32_t next_pc = pc_ + 4;
+    uint32_t rs = regs_[ins.rs()];
+    uint32_t rt = regs_[ins.rt()];
+
+    switch (static_cast<Opcode>(ins.op())) {
+    case Opcode::Special:
+        switch (static_cast<Funct>(ins.funct())) {
+        case Funct::Sll: poke_reg(ins.rd(), rt << ins.shamt()); break;
+        case Funct::Srl: poke_reg(ins.rd(), rt >> ins.shamt()); break;
+        case Funct::Addu: poke_reg(ins.rd(), rs + rt); break;
+        case Funct::Subu: poke_reg(ins.rd(), rs - rt); break;
+        case Funct::And: poke_reg(ins.rd(), rs & rt); break;
+        case Funct::Or: poke_reg(ins.rd(), rs | rt); break;
+        case Funct::Xor: poke_reg(ins.rd(), rs ^ rt); break;
+        case Funct::Nor: poke_reg(ins.rd(), ~(rs | rt)); break;
+        case Funct::Slt:
+            poke_reg(ins.rd(), static_cast<int32_t>(rs) <
+                                       static_cast<int32_t>(rt)
+                                   ? 1
+                                   : 0);
+            break;
+        case Funct::Sltu: poke_reg(ins.rd(), rs < rt ? 1 : 0); break;
+        case Funct::Jr: next_pc = rs; break;
+        case Funct::Syscall:
+            if (mode_ == 1) {
+                // The only entry into kernel mode (§3.1): save the return
+                // pc, clear all GPRs except the endorsed argument
+                // registers, switch mode, and jump to the kernel entry.
+                epc_ = pc_ + 4;
+                mode_ = 0;
+                uint32_t a0 = regs_[ArchParams::kSyscallArg0];
+                uint32_t a1 = regs_[ArchParams::kSyscallArg1];
+                regs_.fill(0);
+                regs_[ArchParams::kSyscallArg0] = a0;
+                regs_[ArchParams::kSyscallArg1] = a1;
+                next_pc = ArchParams::kKernelEntry;
+            }
+            break;
+        default:
+            break; // unknown R-type: NOP
+        }
+        break;
+    case Opcode::J:
+        next_pc = ins.target26() << 2;
+        break;
+    case Opcode::Jal:
+        poke_reg(31, pc_ + 4);
+        next_pc = ins.target26() << 2;
+        break;
+    case Opcode::Beq:
+        if (rs == rt)
+            next_pc = pc_ + 4 + (ins.imm_sext() << 2);
+        break;
+    case Opcode::Bne:
+        if (rs != rt)
+            next_pc = pc_ + 4 + (ins.imm_sext() << 2);
+        break;
+    case Opcode::Addiu:
+        poke_reg(ins.rt(), rs + ins.imm_sext());
+        break;
+    case Opcode::Slti:
+        poke_reg(ins.rt(), static_cast<int32_t>(rs) <
+                                   static_cast<int32_t>(ins.imm_sext())
+                               ? 1
+                               : 0);
+        break;
+    case Opcode::Andi:
+        poke_reg(ins.rt(), rs & ins.imm16());
+        break;
+    case Opcode::Ori:
+        poke_reg(ins.rt(), rs | ins.imm16());
+        break;
+    case Opcode::Xori:
+        poke_reg(ins.rt(), rs ^ ins.imm16());
+        break;
+    case Opcode::Lui:
+        poke_reg(ins.rt(), static_cast<uint32_t>(ins.imm16()) << 16);
+        break;
+    case Opcode::Cop0:
+        if (ins.funct() == kEretFunct && mode_ == 0) {
+            mode_ = 1;
+            next_pc = epc_;
+        }
+        break;
+    case Opcode::Lw: {
+        // Mirrors the RTL: the running mode selects the bank; the MMIO
+        // ring-input register is only visible from user mode.
+        uint32_t addr = rs + ins.imm_sext();
+        uint32_t word = (addr >> 2) % ArchParams::kDmemWords;
+        if (mode_ == 0)
+            poke_reg(ins.rt(), dmem_k_[word]);
+        else if (addr == ArchParams::kMmioNetIn)
+            poke_reg(ins.rt(), net_in_);
+        else
+            poke_reg(ins.rt(), dmem_u_[word]);
+        break;
+    }
+    case Opcode::Sw: {
+        uint32_t addr = rs + ins.imm_sext();
+        uint32_t word = (addr >> 2) % ArchParams::kDmemWords;
+        if (addr == ArchParams::kMmioNetOut)
+            net_out_ = rt;
+        else if (mode_ == 0)
+            dmem_k_[word] = rt;
+        else
+            dmem_u_[word] = rt;
+        break;
+    }
+    }
+    pc_ = next_pc;
+    ++instret_;
+}
+
+void GoldenCpu::run(uint64_t instructions) {
+    for (uint64_t i = 0; i < instructions; ++i)
+        step();
+}
+
+bool GoldenCpu::at_spin() const {
+    const auto& bank = mode_ == 0 ? imem_k_ : imem_u_;
+    Instr ins{bank[(pc_ >> 2) % ArchParams::kImemWords]};
+    return static_cast<Opcode>(ins.op()) == Opcode::J &&
+           (ins.target26() << 2) == pc_;
+}
+
+} // namespace svlc::proc

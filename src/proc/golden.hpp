@@ -1,0 +1,78 @@
+// ISA-level golden model of the evaluation processor. The RTL pipeline is
+// validated against this interpreter instruction-for-instruction by the
+// functional test-vector suite (paper §3.1: "functionally evaluated with
+// 166 unit test vectors").
+#pragma once
+
+#include "proc/isa.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace svlc::proc {
+
+class GoldenCpu {
+public:
+    GoldenCpu();
+
+    void reset();
+    /// Loads the kernel / user instruction banks (the running mode
+    /// selects the bank, as in the RTL). load_program loads both banks
+    /// with the same image.
+    void load_kernel(const std::vector<uint32_t>& words);
+    void load_user(const std::vector<uint32_t>& words);
+    void load_program(const std::vector<uint32_t>& words);
+
+    /// Executes one architectural instruction.
+    void step();
+    void run(uint64_t instructions);
+
+    /// True when the next instruction is an unconditional `j .` self-loop
+    /// (the convention every test program ends with).
+    [[nodiscard]] bool at_spin() const;
+
+    [[nodiscard]] uint32_t pc() const { return pc_; }
+    [[nodiscard]] uint32_t mode() const { return mode_; }
+    [[nodiscard]] uint32_t epc() const { return epc_; }
+    [[nodiscard]] uint32_t reg(uint32_t n) const { return regs_[n]; }
+    /// Kernel / user data-memory banks (the running mode selects the
+    /// bank, mirroring the RTL's partitioned memory).
+    [[nodiscard]] uint32_t dmem_k(uint32_t word) const {
+        return dmem_k_[word % ArchParams::kDmemWords];
+    }
+    [[nodiscard]] uint32_t dmem_u(uint32_t word) const {
+        return dmem_u_[word % ArchParams::kDmemWords];
+    }
+    [[nodiscard]] uint32_t net_out() const { return net_out_; }
+    void set_net_in(uint32_t v) { net_in_ = v; }
+    [[nodiscard]] uint64_t instret() const { return instret_; }
+
+    void poke_reg(uint32_t n, uint32_t v) {
+        if (n != 0)
+            regs_[n] = v;
+    }
+    void poke_dmem_k(uint32_t word, uint32_t v) {
+        dmem_k_[word % ArchParams::kDmemWords] = v;
+    }
+    void poke_dmem_u(uint32_t word, uint32_t v) {
+        dmem_u_[word % ArchParams::kDmemWords] = v;
+    }
+    void poke_mode(uint32_t m) { mode_ = m & 1; }
+    void poke_pc(uint32_t pc) { pc_ = pc; }
+
+private:
+    uint32_t pc_ = ArchParams::kResetPc;
+    uint32_t mode_ = 0; // 0 = kernel (trusted), 1 = user
+    uint32_t epc_ = 0;
+    std::array<uint32_t, ArchParams::kNumRegs> regs_{};
+    std::array<uint32_t, ArchParams::kImemWords> imem_k_{};
+    std::array<uint32_t, ArchParams::kImemWords> imem_u_{};
+    std::array<uint32_t, ArchParams::kDmemWords> dmem_k_{};
+    std::array<uint32_t, ArchParams::kDmemWords> dmem_u_{};
+    uint32_t net_in_ = 0;
+    uint32_t net_out_ = 0;
+    uint64_t instret_ = 0;
+};
+
+} // namespace svlc::proc

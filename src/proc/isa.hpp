@@ -1,0 +1,103 @@
+// The MIPS-subset ISA implemented by the evaluation processor (paper
+// §3.1: "a processor that implements a subset of the MIPS ISA" with "a
+// privileged kernel mode and an unprivileged user mode" where "the only
+// point of entry into kernel mode is the SYSCALL instruction").
+//
+// Standard MIPS-I encodings for the implemented subset; SYSRET is encoded
+// as COP0/ERET. Architectural simplifications (documented in DESIGN.md):
+// no branch delay slots, unsigned arithmetic only (no overflow traps),
+// word-addressed memories behind a byte-address interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace svlc::proc {
+
+// Opcode field (bits 31:26).
+enum class Opcode : uint32_t {
+    Special = 0x00, // R-type; funct selects
+    J = 0x02,
+    Jal = 0x03,
+    Beq = 0x04,
+    Bne = 0x05,
+    Addiu = 0x09,
+    Slti = 0x0A,
+    Andi = 0x0C,
+    Ori = 0x0D,
+    Xori = 0x0E,
+    Lui = 0x0F,
+    Cop0 = 0x10, // SYSRET (ERET) lives here
+    Lw = 0x23,
+    Sw = 0x2B,
+};
+
+// funct field (bits 5:0) for Opcode::Special.
+enum class Funct : uint32_t {
+    Sll = 0x00,
+    Srl = 0x02,
+    Jr = 0x08,
+    Syscall = 0x0C,
+    Addu = 0x21,
+    Subu = 0x23,
+    And = 0x24,
+    Or = 0x25,
+    Xor = 0x26,
+    Nor = 0x27,
+    Slt = 0x2A,
+    Sltu = 0x2B,
+};
+
+constexpr uint32_t kEretFunct = 0x18; // COP0 funct for SYSRET
+
+/// Architectural constants shared by the golden model, the RTL, and the
+/// test harness.
+struct ArchParams {
+    static constexpr uint32_t kNumRegs = 32;
+    /// Word-addressed sizes (the RTL uses the same).
+    static constexpr uint32_t kImemWords = 256;
+    static constexpr uint32_t kDmemWords = 256;
+    /// Kernel entry point loaded into pc on SYSCALL (byte address).
+    static constexpr uint32_t kKernelEntry = 0x00000200;
+    /// Reset pc (kernel boots here).
+    static constexpr uint32_t kResetPc = 0x00000000;
+    /// GPRs preserved (endorsed) across SYSCALL: $4/$5 (a0/a1).
+    static constexpr uint32_t kSyscallArg0 = 4;
+    static constexpr uint32_t kSyscallArg1 = 5;
+    /// Memory-mapped ring-network registers (byte addresses).
+    static constexpr uint32_t kMmioNetOut = 0x000003FC;
+    static constexpr uint32_t kMmioNetIn = 0x000003F8;
+};
+
+struct Instr {
+    uint32_t raw = 0;
+
+    [[nodiscard]] uint32_t op() const { return raw >> 26; }
+    [[nodiscard]] uint32_t rs() const { return (raw >> 21) & 31; }
+    [[nodiscard]] uint32_t rt() const { return (raw >> 16) & 31; }
+    [[nodiscard]] uint32_t rd() const { return (raw >> 11) & 31; }
+    [[nodiscard]] uint32_t shamt() const { return (raw >> 6) & 31; }
+    [[nodiscard]] uint32_t funct() const { return raw & 63; }
+    [[nodiscard]] uint16_t imm16() const { return raw & 0xFFFF; }
+    [[nodiscard]] uint32_t imm_sext() const {
+        return static_cast<uint32_t>(static_cast<int32_t>(
+            static_cast<int16_t>(imm16())));
+    }
+    [[nodiscard]] uint32_t target26() const { return raw & 0x03FFFFFF; }
+};
+
+// Encoders (used by the assembler and directed tests).
+uint32_t enc_r(Funct f, uint32_t rd, uint32_t rs, uint32_t rt);
+uint32_t enc_shift(Funct f, uint32_t rd, uint32_t rt, uint32_t shamt);
+uint32_t enc_i(Opcode op, uint32_t rt, uint32_t rs, uint16_t imm);
+uint32_t enc_j(Opcode op, uint32_t target_word);
+uint32_t enc_jr(uint32_t rs);
+uint32_t enc_syscall();
+uint32_t enc_sysret();
+constexpr uint32_t kNop = 0; // sll r0, r0, 0
+
+/// Disassembles one instruction (for traces and diagnostics).
+std::string disassemble(uint32_t raw);
+
+} // namespace svlc::proc

@@ -1,0 +1,652 @@
+#include "proc/sources.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace svlc::proc {
+
+namespace {
+
+// The security policy and the shared body of the cpu module. The pc
+// update block is spliced in via the @PC_BLOCK@ marker so the vulnerable
+// variant (§3.2) can replace just that logic.
+//
+// Lines tagged //@lab exist only for the labeled variants (invariants and
+// security-only code); strip_security() drops them for the baseline.
+const char* kPolicy = R"(
+lattice { level T; level U; flow T -> U; }
+function lb(x:1) { 0 -> T; default -> U; }
+)";
+
+const char* kCpuHeader = R"(
+// ---------------------------------------------------------------------
+// cpu: 5-stage bypassed pipeline, MIPS subset, kernel/user modes.
+// Stages: F (fetch), D (decode/regread), E (execute/branch),
+//         M (memory), W (writeback/privilege commit).
+// mode = 0 is the privileged kernel (trusted T); mode = 1 is user (U).
+// The labels of pc, the GPRs, and every pipeline register depend on mode.
+// ---------------------------------------------------------------------
+module cpu(input com {T} rst,
+           input com {lb(mode)} fstall,
+           input com [31:0] {U} net_in,
+           output com [31:0] {U} net_out_val);
+  localparam KERNEL_ENTRY = 32'h00000200;
+
+  // Architectural state.
+  reg seq {T} mode;
+  reg seq [31:0] {lb(mode)} pc;
+  reg seq [31:0] {U} epc;
+  reg seq [31:0] {lb(mode)} gpr[0:31];
+  reg seq [31:0] {T} imem_k[0:255];
+  reg seq [31:0] {U} imem_u[0:255];
+  reg seq [31:0] {T} dmem_k[0:255];
+  reg seq [31:0] {U} dmem_u[0:255];
+  reg seq [31:0] {U} net_out;
+  assign net_out_val = net_out;
+
+  // Pipeline registers (labels follow the mode, like the paper's design).
+  reg seq {lb(mode)} fd_valid;
+  reg seq [31:0] {lb(mode)} fd_instr;
+  reg seq [31:0] {lb(mode)} fd_pc4;
+
+  reg seq {lb(mode)} de_valid;
+  reg seq [31:0] {lb(mode)} de_pc4;
+  reg seq [31:0] {lb(mode)} de_rs_val;
+  reg seq [31:0] {lb(mode)} de_rt_val;
+  reg seq [31:0] {lb(mode)} de_imm;
+  reg seq [4:0] {lb(mode)} de_rs;
+  reg seq [4:0] {lb(mode)} de_rt;
+  reg seq [4:0] {lb(mode)} de_dst;
+  reg seq [4:0] {lb(mode)} de_shamt;
+  reg seq [3:0] {lb(mode)} de_aluop;
+  reg seq {lb(mode)} de_alusrc;
+  reg seq {lb(mode)} de_wen;
+  reg seq {lb(mode)} de_is_load;
+  reg seq {lb(mode)} de_is_store;
+  reg seq {lb(mode)} de_is_beq;
+  reg seq {lb(mode)} de_is_bne;
+  reg seq {lb(mode)} de_is_jr;
+  reg seq {lb(mode)} de_use_pc4;
+  reg seq {lb(mode)} de_is_syscall;
+  reg seq {lb(mode)} de_is_sysret;
+  reg seq [31:0] {lb(mode)} de_btarget;
+
+  reg seq {lb(mode)} em_valid;
+  reg seq [31:0] {lb(mode)} em_result;
+  reg seq [31:0] {lb(mode)} em_store_val;
+  reg seq [4:0] {lb(mode)} em_dst;
+  reg seq {lb(mode)} em_wen;
+  reg seq {lb(mode)} em_is_load;
+  reg seq {lb(mode)} em_is_store;
+  reg seq {lb(mode)} em_is_syscall;
+  reg seq {lb(mode)} em_is_sysret;
+  reg seq [31:0] {lb(mode)} em_pc4;
+
+  reg seq {lb(mode)} mw_valid;
+  reg seq [31:0] {lb(mode)} mw_value;
+  reg seq [4:0] {lb(mode)} mw_dst;
+  reg seq {lb(mode)} mw_wen;
+  reg seq {lb(mode)} mw_is_syscall;
+  reg seq {lb(mode)} mw_is_sysret;
+  reg seq [31:0] {lb(mode)} mw_pc4;
+
+  // -------------------------------------------------------------------
+  // F: fetch. The running mode selects the instruction bank; the fetched
+  // word's label therefore matches lb(mode) in both branches.
+  // -------------------------------------------------------------------
+  wire com [31:0] {lb(mode)} f_instr;
+  always @(*) begin
+    if (mode == 1'b0) f_instr = imem_k[pc[9:2]];
+    else f_instr = imem_u[pc[9:2]];
+  end
+
+  // -------------------------------------------------------------------
+  // D: decode + register read (with writeback forwarding).
+  // -------------------------------------------------------------------
+  wire com [5:0] {lb(mode)} d_op;
+  assign d_op = fd_instr[31:26];
+  wire com [5:0] {lb(mode)} d_funct;
+  assign d_funct = fd_instr[5:0];
+  wire com [4:0] {lb(mode)} d_rs;
+  assign d_rs = fd_instr[25:21];
+  wire com [4:0] {lb(mode)} d_rt;
+  assign d_rt = fd_instr[20:16];
+  wire com [4:0] {lb(mode)} d_rd;
+  assign d_rd = fd_instr[15:11];
+  wire com [4:0] {lb(mode)} d_shamt;
+  assign d_shamt = fd_instr[10:6];
+
+  wire com [3:0] {lb(mode)} d_aluop;
+  wire com {lb(mode)} d_alusrc;
+  wire com {lb(mode)} d_wen;
+  wire com [4:0] {lb(mode)} d_dst;
+  wire com {lb(mode)} d_is_load;
+  wire com {lb(mode)} d_is_store;
+  wire com {lb(mode)} d_is_beq;
+  wire com {lb(mode)} d_is_bne;
+  wire com {lb(mode)} d_is_jr;
+  wire com {lb(mode)} d_is_j;
+  wire com {lb(mode)} d_is_jal;
+  wire com {lb(mode)} d_is_syscall;
+  wire com {lb(mode)} d_is_sysret;
+  wire com {lb(mode)} d_use_pc4;
+  wire com {lb(mode)} d_uses_rs;
+  wire com {lb(mode)} d_uses_rt;
+  wire com {lb(mode)} d_imm_zext;
+  always @(*) begin
+    d_aluop = 4'd0; d_alusrc = 1'b0; d_wen = 1'b0; d_dst = 5'd0;
+    d_is_load = 1'b0; d_is_store = 1'b0; d_is_beq = 1'b0; d_is_bne = 1'b0;
+    d_is_jr = 1'b0; d_is_j = 1'b0; d_is_jal = 1'b0;
+    d_is_syscall = 1'b0; d_is_sysret = 1'b0; d_use_pc4 = 1'b0;
+    d_uses_rs = 1'b0; d_uses_rt = 1'b0; d_imm_zext = 1'b0;
+    if (d_op == 6'h00) begin
+      d_dst = d_rd;
+      if (d_funct == 6'h00) begin d_aluop = 4'd8; d_wen = 1'b1; d_uses_rt = 1'b1; end
+      else if (d_funct == 6'h02) begin d_aluop = 4'd9; d_wen = 1'b1; d_uses_rt = 1'b1; end
+      else if (d_funct == 6'h08) begin d_is_jr = 1'b1; d_uses_rs = 1'b1; end
+      else if (d_funct == 6'h0c) begin d_is_syscall = 1'b1; end
+      else if (d_funct == 6'h21) begin d_aluop = 4'd0; d_wen = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+      else if (d_funct == 6'h23) begin d_aluop = 4'd1; d_wen = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+      else if (d_funct == 6'h24) begin d_aluop = 4'd2; d_wen = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+      else if (d_funct == 6'h25) begin d_aluop = 4'd3; d_wen = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+      else if (d_funct == 6'h26) begin d_aluop = 4'd4; d_wen = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+      else if (d_funct == 6'h27) begin d_aluop = 4'd5; d_wen = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+      else if (d_funct == 6'h2a) begin d_aluop = 4'd6; d_wen = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+      else if (d_funct == 6'h2b) begin d_aluop = 4'd7; d_wen = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+    end
+    else if (d_op == 6'h09) begin d_aluop = 4'd0; d_alusrc = 1'b1; d_wen = 1'b1; d_dst = d_rt; d_uses_rs = 1'b1; end
+    else if (d_op == 6'h0a) begin d_aluop = 4'd6; d_alusrc = 1'b1; d_wen = 1'b1; d_dst = d_rt; d_uses_rs = 1'b1; end
+    else if (d_op == 6'h0c) begin d_aluop = 4'd2; d_alusrc = 1'b1; d_imm_zext = 1'b1; d_wen = 1'b1; d_dst = d_rt; d_uses_rs = 1'b1; end
+    else if (d_op == 6'h0d) begin d_aluop = 4'd3; d_alusrc = 1'b1; d_imm_zext = 1'b1; d_wen = 1'b1; d_dst = d_rt; d_uses_rs = 1'b1; end
+    else if (d_op == 6'h0e) begin d_aluop = 4'd4; d_alusrc = 1'b1; d_imm_zext = 1'b1; d_wen = 1'b1; d_dst = d_rt; d_uses_rs = 1'b1; end
+    else if (d_op == 6'h0f) begin d_aluop = 4'd10; d_alusrc = 1'b1; d_imm_zext = 1'b1; d_wen = 1'b1; d_dst = d_rt; end
+    else if (d_op == 6'h23) begin d_is_load = 1'b1; d_aluop = 4'd0; d_alusrc = 1'b1; d_wen = 1'b1; d_dst = d_rt; d_uses_rs = 1'b1; end
+    else if (d_op == 6'h2b) begin d_is_store = 1'b1; d_aluop = 4'd0; d_alusrc = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+    else if (d_op == 6'h04) begin d_is_beq = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+    else if (d_op == 6'h05) begin d_is_bne = 1'b1; d_uses_rs = 1'b1; d_uses_rt = 1'b1; end
+    else if (d_op == 6'h02) begin d_is_j = 1'b1; end
+    else if (d_op == 6'h03) begin d_is_jal = 1'b1; d_wen = 1'b1; d_dst = 5'd31; d_use_pc4 = 1'b1; end
+    else if (d_op == 6'h10) begin
+      if (d_funct == 6'h18) d_is_sysret = 1'b1;
+    end
+  end
+
+  wire com [31:0] {lb(mode)} d_imm;
+  always @(*) begin
+    if (d_imm_zext) d_imm = {16'h0, fd_instr[15:0]};
+    else if (fd_instr[15]) d_imm = {16'hffff, fd_instr[15:0]};
+    else d_imm = {16'h0, fd_instr[15:0]};
+  end
+
+  wire com {lb(mode)} wb_wen_act;
+  assign wb_wen_act = mw_valid && mw_wen && (mw_dst != 5'd0);
+
+  wire com [31:0] {lb(mode)} d_rs_val;
+  always @(*) begin
+    if (d_rs == 5'd0) d_rs_val = 32'h0;
+    else if (wb_wen_act && (mw_dst == d_rs)) d_rs_val = mw_value;
+    else d_rs_val = gpr[d_rs];
+  end
+  wire com [31:0] {lb(mode)} d_rt_val;
+  always @(*) begin
+    if (d_rt == 5'd0) d_rt_val = 32'h0;
+    else if (wb_wen_act && (mw_dst == d_rt)) d_rt_val = mw_value;
+    else d_rt_val = gpr[d_rt];
+  end
+
+  wire com {lb(mode)} d_redirect;
+  assign d_redirect = fd_valid && (d_is_j || d_is_jal);
+  wire com [31:0] {lb(mode)} d_target;
+  assign d_target = {4'h0, fd_instr[25:0], 2'b00};
+  wire com [31:0] {lb(mode)} d_btarget;
+  assign d_btarget = fd_pc4 + {d_imm[29:0], 2'b00};
+
+  // Load-use hazard: the consumer waits one cycle for the M-stage bypass.
+  wire com {lb(mode)} load_use_stall;
+  assign load_use_stall = de_valid && de_is_load && fd_valid && (de_dst != 5'd0)
+      && ((d_uses_rs && (de_dst == d_rs)) || (d_uses_rt && (de_dst == d_rt)));
+  // Fetch wait-states (e.g. an instruction-cache miss) also stall the
+  // front end; this is exactly the enable signal of the paper's pc-update
+  // vulnerability (it may delay fetch, but must never delay a privileged
+  // pc redirect).
+  wire com {lb(mode)} stall;
+  assign stall = load_use_stall || fstall;
+
+  // -------------------------------------------------------------------
+  // E: bypass network, ALU, branch resolution.
+  // -------------------------------------------------------------------
+  wire com [31:0] {lb(mode)} e_rs_val;
+  always @(*) begin
+    if (de_rs == 5'd0) e_rs_val = 32'h0;
+    else if (em_valid && em_wen && (em_dst == de_rs)) e_rs_val = m_value;
+    else if (mw_valid && mw_wen && (mw_dst == de_rs)) e_rs_val = mw_value;
+    else e_rs_val = de_rs_val;
+  end
+  wire com [31:0] {lb(mode)} e_rt_val;
+  always @(*) begin
+    if (de_rt == 5'd0) e_rt_val = 32'h0;
+    else if (em_valid && em_wen && (em_dst == de_rt)) e_rt_val = m_value;
+    else if (mw_valid && mw_wen && (mw_dst == de_rt)) e_rt_val = mw_value;
+    else e_rt_val = de_rt_val;
+  end
+
+  wire com [31:0] {lb(mode)} e_b;
+  assign e_b = de_alusrc ? de_imm : e_rt_val;
+  wire com [31:0] {lb(mode)} e_alu;
+  always @(*) begin
+    e_alu = 32'h0;
+    if (de_aluop == 4'd0) e_alu = e_rs_val + e_b;
+    else if (de_aluop == 4'd1) e_alu = e_rs_val - e_b;
+    else if (de_aluop == 4'd2) e_alu = e_rs_val & e_b;
+    else if (de_aluop == 4'd3) e_alu = e_rs_val | e_b;
+    else if (de_aluop == 4'd4) e_alu = e_rs_val ^ e_b;
+    else if (de_aluop == 4'd5) e_alu = ~(e_rs_val | e_b);
+    else if (de_aluop == 4'd6) begin
+      if (e_rs_val[31] != e_b[31]) e_alu = {31'h0, e_rs_val[31]};
+      else e_alu = {31'h0, e_rs_val < e_b};
+    end
+    else if (de_aluop == 4'd7) e_alu = {31'h0, e_rs_val < e_b};
+    else if (de_aluop == 4'd8) e_alu = e_b << de_shamt;
+    else if (de_aluop == 4'd9) e_alu = e_b >> de_shamt;
+    else if (de_aluop == 4'd10) e_alu = {e_b[15:0], 16'h0};
+  end
+  wire com [31:0] {lb(mode)} e_result;
+  assign e_result = de_use_pc4 ? de_pc4 : e_alu;
+
+  wire com {lb(mode)} e_taken;
+  assign e_taken = de_valid && ((de_is_beq && (e_rs_val == e_rt_val))
+      || (de_is_bne && (e_rs_val != e_rt_val)) || de_is_jr);
+  wire com [31:0] {lb(mode)} e_target;
+  assign e_target = de_is_jr ? e_rs_val : de_btarget;
+
+  // -------------------------------------------------------------------
+  // M: data memory. The running mode selects the bank, which both
+  // implements the kernel/user partition and makes the load data's label
+  // provably lb(mode) in every branch.
+  // -------------------------------------------------------------------
+  wire com [7:0] {lb(mode)} m_idx;
+  assign m_idx = em_result[9:2];
+  wire com {lb(mode)} m_mmio_in;
+  assign m_mmio_in = em_result == 32'h000003f8;
+  wire com {lb(mode)} m_mmio_out;
+  assign m_mmio_out = em_result == 32'h000003fc;
+  wire com [31:0] {lb(mode)} m_load_data;
+  always @(*) begin
+    if (mode == 1'b0) m_load_data = dmem_k[m_idx];
+    else if (m_mmio_in) m_load_data = net_in;
+    else m_load_data = dmem_u[m_idx];
+  end
+  wire com [31:0] {lb(mode)} m_value;
+  assign m_value = em_is_load ? m_load_data : em_result;
+
+  always @(seq) begin
+    if (em_valid && em_is_store && (mode == 1'b0) && !m_mmio_out)
+      dmem_k[m_idx] <= em_store_val;
+  end
+  always @(seq) begin
+    if (em_valid && em_is_store && (mode == 1'b1) && !m_mmio_out)
+      dmem_u[m_idx] <= em_store_val;
+  end
+  always @(seq) begin
+    if (em_valid && em_is_store && m_mmio_out) net_out <= em_store_val;
+  end
+
+  // -------------------------------------------------------------------
+  // W: privilege commit. wb_take_syscall is the single endorsed control
+  // signal: the access-control guard (mode == 1, a real SYSCALL in WB)
+  // makes SYSCALL the only entry into kernel mode (§3.1).
+  // -------------------------------------------------------------------
+  wire com {U} wb_syscall_raw;
+  assign wb_syscall_raw = mw_valid && mw_is_syscall && (mode == 1'b1);
+  wire com {T} wb_take_syscall;
+  assign wb_take_syscall = endorse(wb_syscall_raw, T);
+  wire com {lb(mode)} wb_take_sysret;
+  assign wb_take_sysret = mw_valid && mw_is_sysret && (mode == 1'b0);
+
+  always @(seq) begin
+    if (rst) mode <= 1'b0;
+    else if (wb_take_syscall) mode <= 1'b0;
+    else if (wb_take_sysret) mode <= 1'b1;
+  end
+
+  always @(seq) begin
+    if (wb_take_syscall) epc <= mw_pc4;
+  end
+
+@PC_BLOCK@
+
+  // GPR file: cleared on reset and on SYSCALL (label upgrade U -> T),
+  // except the two endorsed argument registers the kernel consumes.
+  always @(seq) begin
+    if (rst) begin
+      gpr[0] <= 32'h0; gpr[1] <= 32'h0; gpr[2] <= 32'h0; gpr[3] <= 32'h0;
+      gpr[4] <= 32'h0; gpr[5] <= 32'h0; gpr[6] <= 32'h0; gpr[7] <= 32'h0;
+      gpr[8] <= 32'h0; gpr[9] <= 32'h0; gpr[10] <= 32'h0; gpr[11] <= 32'h0;
+      gpr[12] <= 32'h0; gpr[13] <= 32'h0; gpr[14] <= 32'h0; gpr[15] <= 32'h0;
+      gpr[16] <= 32'h0; gpr[17] <= 32'h0; gpr[18] <= 32'h0; gpr[19] <= 32'h0;
+      gpr[20] <= 32'h0; gpr[21] <= 32'h0; gpr[22] <= 32'h0; gpr[23] <= 32'h0;
+      gpr[24] <= 32'h0; gpr[25] <= 32'h0; gpr[26] <= 32'h0; gpr[27] <= 32'h0;
+      gpr[28] <= 32'h0; gpr[29] <= 32'h0; gpr[30] <= 32'h0; gpr[31] <= 32'h0;
+    end
+    else if (wb_take_syscall) begin
+      gpr[0] <= 32'h0; gpr[1] <= 32'h0; gpr[2] <= 32'h0; gpr[3] <= 32'h0;
+      gpr[4] <= endorse(gpr[4], T);
+      gpr[5] <= endorse(gpr[5], T);
+      gpr[6] <= 32'h0; gpr[7] <= 32'h0;
+      gpr[8] <= 32'h0; gpr[9] <= 32'h0; gpr[10] <= 32'h0; gpr[11] <= 32'h0;
+      gpr[12] <= 32'h0; gpr[13] <= 32'h0; gpr[14] <= 32'h0; gpr[15] <= 32'h0;
+      gpr[16] <= 32'h0; gpr[17] <= 32'h0; gpr[18] <= 32'h0; gpr[19] <= 32'h0;
+      gpr[20] <= 32'h0; gpr[21] <= 32'h0; gpr[22] <= 32'h0; gpr[23] <= 32'h0;
+      gpr[24] <= 32'h0; gpr[25] <= 32'h0; gpr[26] <= 32'h0; gpr[27] <= 32'h0;
+      gpr[28] <= 32'h0; gpr[29] <= 32'h0; gpr[30] <= 32'h0; gpr[31] <= 32'h0;
+    end
+    else if (mw_valid && mw_wen && (mw_dst != 5'd0)) begin
+      gpr[mw_dst] <= mw_value;
+    end
+  end
+
+  // -------------------------------------------------------------------
+  // Pipeline register updates. Privileged redirects come first so a
+  // stall can never block a label change (the §3.2 fix).
+  // -------------------------------------------------------------------
+  always @(seq) begin
+    if (rst) begin
+      fd_valid <= 1'b0; fd_instr <= 32'h0; fd_pc4 <= 32'h0;
+    end
+    else if (wb_take_syscall) begin
+      fd_valid <= 1'b0; fd_instr <= 32'h0; fd_pc4 <= 32'h0;
+    end
+    else if (wb_take_sysret) begin
+      fd_valid <= 1'b0; fd_instr <= 32'h0; fd_pc4 <= 32'h0;
+    end
+    else if (e_taken) begin
+      fd_valid <= 1'b0; fd_instr <= 32'h0; fd_pc4 <= 32'h0;
+    end
+    else if (d_redirect) begin
+      fd_valid <= 1'b0; fd_instr <= 32'h0; fd_pc4 <= 32'h0;
+    end
+    else if (stall) begin
+      fd_valid <= fd_valid; fd_instr <= fd_instr; fd_pc4 <= fd_pc4;
+    end
+    else begin
+      fd_valid <= 1'b1; fd_instr <= f_instr; fd_pc4 <= pc + 32'd4;
+    end
+  end
+
+  always @(seq) begin
+    if (rst) begin
+      de_valid <= 1'b0; de_pc4 <= 32'h0; de_rs_val <= 32'h0;
+      de_rt_val <= 32'h0; de_imm <= 32'h0; de_rs <= 5'd0; de_rt <= 5'd0;
+      de_dst <= 5'd0; de_shamt <= 5'd0; de_aluop <= 4'd0;
+      de_alusrc <= 1'b0; de_wen <= 1'b0; de_is_load <= 1'b0;
+      de_is_store <= 1'b0; de_is_beq <= 1'b0; de_is_bne <= 1'b0;
+      de_is_jr <= 1'b0; de_use_pc4 <= 1'b0; de_is_syscall <= 1'b0;
+      de_is_sysret <= 1'b0; de_btarget <= 32'h0;
+    end
+    else if (wb_take_syscall) begin
+      de_valid <= 1'b0; de_pc4 <= 32'h0; de_rs_val <= 32'h0;
+      de_rt_val <= 32'h0; de_imm <= 32'h0; de_rs <= 5'd0; de_rt <= 5'd0;
+      de_dst <= 5'd0; de_shamt <= 5'd0; de_aluop <= 4'd0;
+      de_alusrc <= 1'b0; de_wen <= 1'b0; de_is_load <= 1'b0;
+      de_is_store <= 1'b0; de_is_beq <= 1'b0; de_is_bne <= 1'b0;
+      de_is_jr <= 1'b0; de_use_pc4 <= 1'b0; de_is_syscall <= 1'b0;
+      de_is_sysret <= 1'b0; de_btarget <= 32'h0;
+    end
+    else if (wb_take_sysret) begin
+      de_valid <= 1'b0; de_pc4 <= 32'h0; de_rs_val <= 32'h0;
+      de_rt_val <= 32'h0; de_imm <= 32'h0; de_rs <= 5'd0; de_rt <= 5'd0;
+      de_dst <= 5'd0; de_shamt <= 5'd0; de_aluop <= 4'd0;
+      de_alusrc <= 1'b0; de_wen <= 1'b0; de_is_load <= 1'b0;
+      de_is_store <= 1'b0; de_is_beq <= 1'b0; de_is_bne <= 1'b0;
+      de_is_jr <= 1'b0; de_use_pc4 <= 1'b0; de_is_syscall <= 1'b0;
+      de_is_sysret <= 1'b0; de_btarget <= 32'h0;
+    end
+    else if (e_taken) begin
+      de_valid <= 1'b0; de_pc4 <= 32'h0; de_rs_val <= 32'h0;
+      de_rt_val <= 32'h0; de_imm <= 32'h0; de_rs <= 5'd0; de_rt <= 5'd0;
+      de_dst <= 5'd0; de_shamt <= 5'd0; de_aluop <= 4'd0;
+      de_alusrc <= 1'b0; de_wen <= 1'b0; de_is_load <= 1'b0;
+      de_is_store <= 1'b0; de_is_beq <= 1'b0; de_is_bne <= 1'b0;
+      de_is_jr <= 1'b0; de_use_pc4 <= 1'b0; de_is_syscall <= 1'b0;
+      de_is_sysret <= 1'b0; de_btarget <= 32'h0;
+    end
+    else if (stall) begin
+      de_valid <= 1'b0; de_pc4 <= 32'h0; de_rs_val <= 32'h0;
+      de_rt_val <= 32'h0; de_imm <= 32'h0; de_rs <= 5'd0; de_rt <= 5'd0;
+      de_dst <= 5'd0; de_shamt <= 5'd0; de_aluop <= 4'd0;
+      de_alusrc <= 1'b0; de_wen <= 1'b0; de_is_load <= 1'b0;
+      de_is_store <= 1'b0; de_is_beq <= 1'b0; de_is_bne <= 1'b0;
+      de_is_jr <= 1'b0; de_use_pc4 <= 1'b0; de_is_syscall <= 1'b0;
+      de_is_sysret <= 1'b0; de_btarget <= 32'h0;
+    end
+    else begin
+      de_valid <= fd_valid; de_pc4 <= fd_pc4; de_rs_val <= d_rs_val;
+      de_rt_val <= d_rt_val; de_imm <= d_imm; de_rs <= d_rs;
+      de_rt <= d_rt; de_dst <= d_dst; de_shamt <= d_shamt;
+      de_aluop <= d_aluop; de_alusrc <= d_alusrc;
+      de_wen <= fd_valid && d_wen; de_is_load <= fd_valid && d_is_load;
+      de_is_store <= fd_valid && d_is_store;
+      de_is_beq <= fd_valid && d_is_beq; de_is_bne <= fd_valid && d_is_bne;
+      de_is_jr <= fd_valid && d_is_jr; de_use_pc4 <= d_use_pc4;
+      de_is_syscall <= fd_valid && d_is_syscall;
+      de_is_sysret <= fd_valid && d_is_sysret;
+      de_btarget <= d_btarget;
+    end
+  end
+
+  always @(seq) begin
+    if (rst) begin
+      em_valid <= 1'b0; em_result <= 32'h0; em_store_val <= 32'h0;
+      em_dst <= 5'd0; em_wen <= 1'b0; em_is_load <= 1'b0;
+      em_is_store <= 1'b0; em_is_syscall <= 1'b0; em_is_sysret <= 1'b0;
+      em_pc4 <= 32'h0;
+    end
+    else if (wb_take_syscall) begin
+      em_valid <= 1'b0; em_result <= 32'h0; em_store_val <= 32'h0;
+      em_dst <= 5'd0; em_wen <= 1'b0; em_is_load <= 1'b0;
+      em_is_store <= 1'b0; em_is_syscall <= 1'b0; em_is_sysret <= 1'b0;
+      em_pc4 <= 32'h0;
+    end
+    else if (wb_take_sysret) begin
+      em_valid <= 1'b0; em_result <= 32'h0; em_store_val <= 32'h0;
+      em_dst <= 5'd0; em_wen <= 1'b0; em_is_load <= 1'b0;
+      em_is_store <= 1'b0; em_is_syscall <= 1'b0; em_is_sysret <= 1'b0;
+      em_pc4 <= 32'h0;
+    end
+    else begin
+      em_valid <= de_valid; em_result <= e_result;
+      em_store_val <= e_rt_val; em_dst <= de_dst;
+      em_wen <= de_valid && de_wen;
+      em_is_load <= de_valid && de_is_load;
+      em_is_store <= de_valid && de_is_store;
+      em_is_syscall <= de_valid && de_is_syscall;
+      em_is_sysret <= de_valid && de_is_sysret;
+      em_pc4 <= de_pc4;
+    end
+  end
+
+  always @(seq) begin
+    if (rst) begin
+      mw_valid <= 1'b0; mw_value <= 32'h0; mw_dst <= 5'd0; mw_wen <= 1'b0;
+      mw_is_syscall <= 1'b0; mw_is_sysret <= 1'b0; mw_pc4 <= 32'h0;
+    end
+    else if (wb_take_syscall) begin
+      mw_valid <= 1'b0; mw_value <= 32'h0; mw_dst <= 5'd0; mw_wen <= 1'b0;
+      mw_is_syscall <= 1'b0; mw_is_sysret <= 1'b0; mw_pc4 <= 32'h0;
+    end
+    else if (wb_take_sysret) begin
+      mw_valid <= 1'b0; mw_value <= 32'h0; mw_dst <= 5'd0; mw_wen <= 1'b0;
+      mw_is_syscall <= 1'b0; mw_is_sysret <= 1'b0; mw_pc4 <= 32'h0;
+    end
+    else begin
+      mw_valid <= em_valid; mw_value <= m_value; mw_dst <= em_dst;
+      mw_wen <= em_valid && em_wen;
+      mw_is_syscall <= em_valid && em_is_syscall;
+      mw_is_sysret <= em_valid && em_is_sysret;
+      mw_pc4 <= em_pc4;
+    end
+  end
+endmodule
+)";
+
+// The secure pc update: privileged redirects are never gated by the
+// fetch-stage stall, so the pc is always updated on a label change.
+const char* kSecurePcBlock = R"(
+  always @(seq) begin
+    if (rst) pc <= 32'h0;
+    else if (wb_take_syscall) pc <= KERNEL_ENTRY;
+    else if (wb_take_sysret) pc <= epc;
+    else if (e_taken) pc <= e_target;
+    else if (d_redirect) pc <= d_target;
+    else if (stall) pc <= pc;
+    else pc <= pc + 32'd4;
+  end
+)";
+
+// The vulnerable pc update of §3.2: an (untrusted, fetch-derived) stall
+// gates even the privileged updates, so in-flight user instructions can
+// delay — or block — the pc change while the privilege level escalates.
+const char* kVulnerablePcBlock = R"(
+  always @(seq) begin
+    if (rst) pc <= 32'h0;
+    else if (!stall) begin
+      if (wb_take_syscall) pc <= KERNEL_ENTRY;
+      else if (wb_take_sysret) pc <= epc;
+      else if (e_taken) pc <= e_target;
+      else if (d_redirect) pc <= d_target;
+      else pc <= pc + 32'd4;
+    end
+    else pc <= pc;
+  end
+)";
+
+std::string splice_pc(const std::string& body, const char* pc_block) {
+    std::string out = body;
+    const std::string marker = "@PC_BLOCK@";
+    size_t pos = out.find(marker);
+    assert(pos != std::string::npos);
+    out.replace(pos, marker.size(), pc_block);
+    return out;
+}
+
+} // namespace
+
+std::string labeled_cpu_source() {
+    return std::string(kPolicy) + splice_pc(kCpuHeader, kSecurePcBlock);
+}
+
+std::string vulnerable_cpu_source() {
+    return std::string(kPolicy) + splice_pc(kCpuHeader, kVulnerablePcBlock);
+}
+
+std::string baseline_cpu_source() {
+    return std::string(kPolicy) + strip_security(splice_pc(kCpuHeader, kSecurePcBlock));
+}
+
+std::string quad_core_source() {
+    std::string out = labeled_cpu_source();
+    out += R"(
+// ---------------------------------------------------------------------
+// quad: four cores on a unidirectional ring (the paper's evaluation
+// platform topology). Each core's memory-mapped net_out register feeds a
+// ring register; the next core reads it through its net_in MMIO address.
+// ---------------------------------------------------------------------
+module quad(input com {T} rst, output com [31:0] {U} observe);
+  wire com [31:0] {U} n0;
+  wire com [31:0] {U} n1;
+  wire com [31:0] {U} n2;
+  wire com [31:0] {U} n3;
+  reg seq [31:0] {U} ring0;
+  reg seq [31:0] {U} ring1;
+  reg seq [31:0] {U} ring2;
+  reg seq [31:0] {U} ring3;
+  cpu c0(.rst(rst), .fstall(1'b0), .net_in(ring3), .net_out_val(n0));
+  cpu c1(.rst(rst), .fstall(1'b0), .net_in(ring0), .net_out_val(n1));
+  cpu c2(.rst(rst), .fstall(1'b0), .net_in(ring1), .net_out_val(n2));
+  cpu c3(.rst(rst), .fstall(1'b0), .net_in(ring2), .net_out_val(n3));
+  always @(seq) begin
+    ring0 <= n0;
+  end
+  always @(seq) begin
+    ring1 <= n1;
+  end
+  always @(seq) begin
+    ring2 <= n2;
+  end
+  always @(seq) begin
+    ring3 <= n3;
+  end
+  assign observe = ring3;
+endmodule
+)";
+    return out;
+}
+
+std::string strip_security(const std::string& labeled) {
+    std::istringstream is(labeled);
+    std::ostringstream os;
+    std::string line;
+    auto is_decl_line = [](const std::string& l) {
+        return l.find("wire ") != std::string::npos ||
+               l.find("reg ") != std::string::npos ||
+               l.find("input ") != std::string::npos ||
+               l.find("output ") != std::string::npos;
+    };
+    while (std::getline(is, line)) {
+        // Drop labeled-only lines.
+        if (line.find("//@lab") != std::string::npos)
+            continue;
+        // Remove the {label} group in declaration lines.
+        if (is_decl_line(line)) {
+            size_t open = line.find('{');
+            if (open != std::string::npos) {
+                int depth = 0;
+                size_t close = open;
+                for (; close < line.size(); ++close) {
+                    if (line[close] == '{')
+                        ++depth;
+                    if (line[close] == '}' && --depth == 0)
+                        break;
+                }
+                if (close < line.size()) {
+                    // Also consume one following space.
+                    size_t end = close + 1;
+                    if (end < line.size() && line[end] == ' ')
+                        ++end;
+                    line = line.substr(0, open) + line.substr(end);
+                }
+            }
+        }
+        // Unwrap endorse(x, L) / declassify(x, L) -> (x).
+        for (const char* kw : {"endorse(", "declassify("}) {
+            size_t pos;
+            while ((pos = line.find(kw)) != std::string::npos) {
+                size_t start = pos + std::string(kw).size();
+                int depth = 1;
+                size_t comma = std::string::npos;
+                size_t close = start;
+                for (; close < line.size(); ++close) {
+                    char c = line[close];
+                    if (c == '(')
+                        ++depth;
+                    else if (c == ')') {
+                        if (--depth == 0)
+                            break;
+                    } else if (c == ',' && depth == 1 &&
+                               comma == std::string::npos) {
+                        comma = close;
+                    }
+                }
+                if (close >= line.size() || comma == std::string::npos)
+                    break; // malformed; leave as-is
+                std::string inner = line.substr(start, comma - start);
+                line = line.substr(0, pos) + "(" + inner + ")" +
+                       line.substr(close + 1);
+            }
+        }
+        os << line << "\n";
+    }
+    return os.str();
+}
+
+} // namespace svlc::proc

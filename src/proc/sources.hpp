@@ -1,0 +1,42 @@
+// The evaluation processor (paper §3.1): a 5-stage bypassed pipeline
+// implementing a MIPS subset with a privileged kernel mode and an
+// unprivileged user mode, written in SecVerilogLC.
+//
+// Three variants are generated from one template:
+//   * labeled   — full security labels; the three explicit downgrades
+//                 (mode-bit endorsement on SYSCALL, and preservation of
+//                 the two syscall-argument GPRs);
+//   * baseline  — the same design with labels erased and downgrades
+//                 unwrapped (the "unlabeled but believed secure"
+//                 comparison processor of §3.3);
+//   * vulnerable — the labeled design with the pc-update bug of §3.2:
+//                 the fetch-stage stall signal gates the privileged pc
+//                 updates, so an untrusted stall can delay or block the
+//                 pc change while the privilege level still escalates.
+//
+// A 4-core ring-network top (§3.1's evaluation platform) instantiates
+// four cores whose MMIO net_out registers circulate over ring registers.
+#pragma once
+
+#include <string>
+
+namespace svlc::proc {
+
+/// Fully labeled SecVerilogLC source (single `cpu` module).
+std::string labeled_cpu_source();
+
+/// Labels erased, downgrades unwrapped, security-only lines dropped.
+std::string baseline_cpu_source();
+
+/// Labeled source with the §3.2 stall-gates-privileged-pc-update bug.
+std::string vulnerable_cpu_source();
+
+/// Four labeled cores on a unidirectional ring (top module `quad`).
+std::string quad_core_source();
+
+/// Derives the baseline text from any labeled SecVerilogLC source:
+/// removes {label} annotations in declarations, unwraps
+/// endorse(x, L)/declassify(x, L) to x, and drops lines tagged //@lab.
+std::string strip_security(const std::string& labeled);
+
+} // namespace svlc::proc

@@ -1,0 +1,95 @@
+// Test harness shared by the functional test-vector suite, the examples,
+// and the benchmarks: compiles a processor source, loads kernel/user
+// program images, runs cycles, and extracts architectural state for
+// comparison with the golden model.
+#pragma once
+
+#include "proc/golden.hpp"
+#include "sem/hir.hpp"
+#include "sim/simulator.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_manager.hpp"
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace svlc::proc {
+
+/// Architectural state snapshot (both models produce one).
+struct ArchState {
+    uint32_t pc = 0;
+    uint32_t mode = 0;
+    uint32_t epc = 0;
+    uint32_t net_out = 0;
+    std::array<uint32_t, ArchParams::kNumRegs> regs{};
+    std::vector<uint32_t> dmem_k;
+    std::vector<uint32_t> dmem_u;
+
+    /// First difference as text; empty when equal. r0 and pc comparisons
+    /// can be toggled.
+    static std::string diff(const ArchState& golden, const ArchState& rtl,
+                            bool compare_pc = true);
+};
+
+/// Compiles a processor source (parse → elaborate → well-formedness).
+/// Throws std::runtime_error with rendered diagnostics on failure.
+std::shared_ptr<hir::Design> compile_cpu(const std::string& source,
+                                         const std::string& top = "cpu");
+
+/// Compiled-once caches of the standard variants.
+const std::shared_ptr<hir::Design>& labeled_cpu_design();
+const std::shared_ptr<hir::Design>& baseline_cpu_design();
+
+/// RTL wrapper: program loading, reset protocol, state extraction.
+class RtlCpu {
+public:
+    explicit RtlCpu(const hir::Design& design, std::string prefix = "");
+
+    void load_kernel(const std::vector<uint32_t>& words);
+    void load_user(const std::vector<uint32_t>& words);
+    void load_program(const std::vector<uint32_t>& words);
+
+    /// Asserts rst for one cycle, then deasserts.
+    void reset();
+    void run_cycles(uint64_t n) { sim_.run(n); }
+    void set_net_in(uint32_t v);
+
+    [[nodiscard]] ArchState state();
+    [[nodiscard]] sim::Simulator& sim() { return sim_; }
+
+private:
+    [[nodiscard]] std::string n(const char* name) const {
+        return prefix_ + name;
+    }
+    const hir::Design& design_;
+    std::string prefix_; // "" for cpu top, "c0." etc. inside quad
+    sim::Simulator sim_;
+};
+
+[[nodiscard]] ArchState golden_state(const GoldenCpu& cpu);
+
+/// Runs the golden model until it spins on a `j .` self-loop or the
+/// instruction budget runs out; returns instructions executed.
+uint64_t golden_run_to_spin(GoldenCpu& cpu, uint64_t max_instructions);
+
+/// One functional test vector: kernel+user images plus a cycle budget.
+struct TestVector {
+    std::string name;
+    std::string kernel_asm;
+    std::string user_asm;
+    uint64_t max_instructions = 4000;
+    uint32_t net_in = 0;
+    /// When non-zero, the fetch-stall input (`fstall`, modelling
+    /// instruction-cache wait states) is driven pseudo-randomly from this
+    /// seed. Architectural results must be unaffected.
+    uint64_t fstall_seed = 0;
+};
+
+/// Runs one vector on the golden model and the RTL; returns the first
+/// mismatch description (empty = pass).
+std::string run_vector(const hir::Design& design, const TestVector& vec);
+
+} // namespace svlc::proc

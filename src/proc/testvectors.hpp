@@ -1,0 +1,18 @@
+// The functional test-vector suite (paper §3.1: "The processor was
+// functionally evaluated with 166 unit test vectors"). Directed vectors
+// cover each instruction, hazard, control-flow, privilege-switch, and
+// MMIO behaviour; constrained-random vectors sweep mixed programs. Every
+// vector runs on the golden model and the RTL and compares full
+// architectural state.
+#pragma once
+
+#include "proc/testbench.hpp"
+
+#include <vector>
+
+namespace svlc::proc {
+
+/// Exactly 166 vectors.
+std::vector<TestVector> functional_test_vectors();
+
+} // namespace svlc::proc

@@ -1,0 +1,31 @@
+// Elaboration: AST → HIR. Resolves names, substitutes parameters, folds
+// constants, computes widths, flattens the module hierarchy, lowers case
+// statements to if-chains, and distributes `next` to primed net refs.
+#pragma once
+
+#include "ast/ast.hpp"
+#include "sem/hir.hpp"
+#include "support/diagnostics.hpp"
+
+#include <memory>
+#include <string>
+
+namespace svlc::sem {
+
+struct ElaborateOptions {
+    /// Name of the module to elaborate as the root. Empty = the unique
+    /// module never instantiated by another (or the last one declared).
+    std::string top;
+    /// Maximum hierarchical instantiation depth (guards recursion).
+    int max_depth = 64;
+};
+
+/// Elaborates a compilation unit. Returns nullptr after reporting
+/// diagnostics when the design has structural errors; otherwise a fully
+/// lowered flat design (well-formedness analyses run separately, see
+/// wellformed.hpp).
+std::unique_ptr<hir::Design> elaborate(const ast::CompilationUnit& unit,
+                                       DiagnosticEngine& diags,
+                                       const ElaborateOptions& opts = {});
+
+} // namespace svlc::sem

@@ -1,0 +1,196 @@
+#include "sem/updates.hpp"
+
+#include <cassert>
+#include <set>
+#include <unordered_map>
+
+namespace svlc::sem {
+
+using namespace hir;
+
+namespace {
+
+/// Conjoins two guards (either may be null = true).
+ExprPtr conj(const ExprPtr& a, const Expr* b) {
+    if (!a)
+        return b ? b->clone() : nullptr;
+    if (!b)
+        return a->clone();
+    return Expr::make_binary(BinaryOp::LogAnd, a->clone(), b->clone());
+}
+
+ExprPtr negate(const Expr* e) {
+    return Expr::make_unary(UnaryOp::LogNot, e->clone());
+}
+
+/// Symbolic executor for one process. Maintains env: net -> current
+/// symbolic value (relative to process entry). Reads of nets the process
+/// itself writes are substituted in combinational processes (blocking
+/// semantics); in sequential processes reads always see pre-tick values,
+/// so no substitution happens.
+class SymbolicExec {
+public:
+    SymbolicExec(const Design& design, const Process& proc)
+        : design_(design), proc_(proc) {
+        for (NetId n : proc.writes)
+            self_writes_.insert(n);
+    }
+
+    std::unordered_map<NetId, ExprPtr> run() {
+        walk(*proc_.body, nullptr);
+        return std::move(env_);
+    }
+
+private:
+    ExprPtr subst(const Expr& e) {
+        if (proc_.kind == ProcessKind::Seq)
+            return e.clone(); // non-blocking reads see old values
+        switch (e.kind) {
+        case ExprKind::NetRef:
+            if (!e.primed && self_writes_.count(e.net)) {
+                auto it = env_.find(e.net);
+                if (it != env_.end())
+                    return it->second->clone();
+                // Read-before-write: rejected by well-formedness; fall
+                // through to a plain reference to stay total.
+            }
+            return e.clone();
+        default: {
+            ExprPtr out = e.clone();
+            rewrite_children(*out);
+            return out;
+        }
+        }
+    }
+
+    void rewrite_children(Expr& e) {
+        auto fix = [&](ExprPtr& child) {
+            if (child)
+                child = subst(*child);
+        };
+        fix(e.index);
+        fix(e.a);
+        fix(e.b);
+        fix(e.c);
+        for (auto& p : e.parts)
+            p = subst(*p);
+    }
+
+    void walk(const Stmt& s, ExprPtr guard) {
+        switch (s.kind) {
+        case StmtKind::Block:
+            for (const auto& st : s.stmts)
+                walk(*st, guard ? guard->clone() : nullptr);
+            break;
+        case StmtKind::If: {
+            ExprPtr cond = subst(*s.cond);
+            walk(*s.then_stmt, conj(guard, cond.get()));
+            if (s.else_stmt) {
+                ExprPtr ncond = negate(cond.get());
+                walk(*s.else_stmt, conj(guard, ncond.get()));
+            }
+            break;
+        }
+        case StmtKind::Assign: {
+            NetId net = s.lhs.net;
+            const Net& n = design_.net(net);
+            if (n.array_size != 0 || s.lhs.index || s.lhs.has_range) {
+                // Array-element and part-select targets do not produce
+                // whole-net equations; mark the net as equation-less.
+                partial_.insert(net);
+                env_.erase(net);
+                return;
+            }
+            if (partial_.count(net))
+                return;
+            ExprPtr rhs = subst(*s.rhs);
+            if (!guard) {
+                env_[net] = std::move(rhs);
+            } else {
+                ExprPtr prev;
+                auto it = env_.find(net);
+                if (it != env_.end())
+                    prev = it->second->clone();
+                else if (proc_.kind == ProcessKind::Seq)
+                    prev = Expr::make_net(net, n.width, false, s.loc); // hold
+                else
+                    prev = Expr::make_const(BitVec(n.width, 0), s.loc);
+                env_[net] = Expr::make_cond(guard->clone(), std::move(rhs),
+                                            std::move(prev), s.loc);
+            }
+            break;
+        }
+        case StmtKind::Assume:
+            break;
+        }
+    }
+
+    const Design& design_;
+    const Process& proc_;
+    std::unordered_map<NetId, ExprPtr> env_;
+    std::set<NetId> self_writes_;
+    std::set<NetId> partial_;
+};
+
+void collect_guarded(const Design& design, const Stmt& s, NetId target,
+                     ExprPtr guard, std::vector<GuardedWrite>& out) {
+    switch (s.kind) {
+    case StmtKind::Block:
+        for (const auto& st : s.stmts)
+            collect_guarded(design, *st, target,
+                            guard ? guard->clone() : nullptr, out);
+        break;
+    case StmtKind::If: {
+        collect_guarded(design, *s.then_stmt, target,
+                        conj(guard, s.cond.get()), out);
+        if (s.else_stmt) {
+            ExprPtr ncond = negate(s.cond.get());
+            collect_guarded(design, *s.else_stmt, target,
+                            conj(guard, ncond.get()), out);
+        }
+        break;
+    }
+    case StmtKind::Assign:
+        if (s.lhs.net == target) {
+            GuardedWrite gw;
+            gw.guard = guard ? guard->clone() : nullptr;
+            gw.index = s.lhs.index ? s.lhs.index->clone() : nullptr;
+            gw.rhs = s.rhs.get();
+            gw.node_id = s.node_id;
+            gw.loc = s.loc;
+            out.push_back(std::move(gw));
+        }
+        break;
+    case StmtKind::Assume:
+        break;
+    }
+}
+
+} // namespace
+
+Equations build_equations(const Design& design) {
+    Equations eq;
+    eq.defs.resize(design.nets.size());
+    for (const Process& proc : design.processes) {
+        SymbolicExec exec(design, proc);
+        auto env = exec.run();
+        for (auto& [net, expr] : env)
+            eq.defs[net] = std::move(expr);
+    }
+    return eq;
+}
+
+std::vector<GuardedWrite> guarded_writes(const Design& design, NetId net) {
+    std::vector<GuardedWrite> out;
+    for (const Process& proc : design.processes) {
+        bool writes_net = false;
+        for (NetId n : proc.writes)
+            writes_net |= n == net;
+        if (!writes_net)
+            continue;
+        collect_guarded(design, *proc.body, net, nullptr, out);
+    }
+    return out;
+}
+
+} // namespace svlc::sem

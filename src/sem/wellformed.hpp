@@ -1,0 +1,25 @@
+// Well-formedness analyses over the elaborated design (paper §2.3):
+//  1. single-driver: every net is written by at most one process, and
+//     every read combinational net is driven;
+//  2. no inferred latches: in a combinational process, every net it
+//     writes is definitely assigned on every path, and every in-process
+//     read of a self-written net happens after a write (def-before-use);
+//  3. no combinational loops: the unified dependency graph over processes
+//     (com-net reads and primed next-cycle reads) is acyclic; a valid
+//     topological `schedule` is stored in the design;
+//  4. label sanity: dependent-label arguments exist, are scalar, match
+//     function arity/width, are not self-referential, and the dependency
+//     graph between labeled nets is acyclic.
+#pragma once
+
+#include "sem/hir.hpp"
+#include "support/diagnostics.hpp"
+
+namespace svlc::sem {
+
+/// Runs all analyses; fills Process::reads/writes/primed_reads and
+/// Design::schedule. Returns false if any check fails (diagnostics
+/// reported through `diags`).
+bool analyze_wellformed(hir::Design& design, DiagnosticEngine& diags);
+
+} // namespace svlc::sem

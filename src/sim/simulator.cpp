@@ -1,0 +1,305 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace svlc::sim {
+
+using namespace hir;
+
+Simulator::Simulator(const Design& design) : design_(design) {
+    current_.resize(design.nets.size());
+    pending_.resize(design.nets.size());
+    arrays_.resize(design.nets.size());
+    for (const Net& net : design.nets) {
+        if (net.array_size != 0)
+            arrays_[net.id].assign(net.array_size, BitVec(net.width, 0));
+    }
+    reset();
+}
+
+void Simulator::reset() {
+    cycle_ = 0;
+    violations_.clear();
+    array_writes_.clear();
+    for (const Net& net : design_.nets) {
+        BitVec init = net.has_init ? net.init : BitVec(net.width, 0);
+        current_[net.id] = init;
+        pending_[net.id] = init;
+        if (net.array_size != 0)
+            for (auto& v : arrays_[net.id])
+                v = BitVec(net.width, 0);
+    }
+}
+
+void Simulator::set_input(NetId net, BitVec value) {
+    current_[net] = value.resize(design_.net(net).width);
+}
+
+void Simulator::set_input(const std::string& name, uint64_t value) {
+    NetId id = design_.find_net(name);
+    if (id == kInvalidNet)
+        throw std::invalid_argument("no net named '" + name + "'");
+    set_input(id, BitVec(design_.net(id).width, value));
+}
+
+void Simulator::poke(NetId net, BitVec value) {
+    current_[net] = value.resize(design_.net(net).width);
+    pending_[net] = current_[net];
+}
+
+void Simulator::poke(const std::string& name, uint64_t value) {
+    NetId id = design_.find_net(name);
+    if (id == kInvalidNet)
+        throw std::invalid_argument("no net named '" + name + "'");
+    poke(id, BitVec(design_.net(id).width, value));
+}
+
+void Simulator::poke_elem(NetId net, uint64_t index, BitVec value) {
+    auto& arr = arrays_[net];
+    arr[index % arr.size()] = value.resize(design_.net(net).width);
+}
+
+void Simulator::poke_elem(const std::string& name, uint64_t index,
+                          uint64_t value) {
+    NetId id = design_.find_net(name);
+    if (id == kInvalidNet)
+        throw std::invalid_argument("no net named '" + name + "'");
+    poke_elem(id, index, BitVec(design_.net(id).width, value));
+}
+
+BitVec Simulator::get(NetId net) const { return current_[net]; }
+
+BitVec Simulator::get(const std::string& name) const {
+    NetId id = design_.find_net(name);
+    if (id == kInvalidNet)
+        throw std::invalid_argument("no net named '" + name + "'");
+    return get(id);
+}
+
+BitVec Simulator::get_elem(NetId net, uint64_t index) const {
+    const auto& arr = arrays_[net];
+    return arr[index % arr.size()];
+}
+
+BitVec Simulator::get_elem(const std::string& name, uint64_t index) const {
+    NetId id = design_.find_net(name);
+    if (id == kInvalidNet)
+        throw std::invalid_argument("no net named '" + name + "'");
+    return get_elem(id, index);
+}
+
+BitVec Simulator::get_next(NetId net) const { return pending_[net]; }
+
+BitVec Simulator::eval(const Expr& e) const {
+    switch (e.kind) {
+    case ExprKind::Const:
+        return e.value;
+    case ExprKind::NetRef:
+        return e.primed ? pending_[e.net] : current_[e.net];
+    case ExprKind::ArrayRead: {
+        uint64_t idx = eval(*e.index).value();
+        const auto& arr = arrays_[e.net];
+        idx %= arr.size();
+        if (e.primed) {
+            // Pending view: the last staged write to this element wins.
+            for (auto it = array_writes_.rbegin(); it != array_writes_.rend();
+                 ++it)
+                if (it->net == e.net && it->index == idx)
+                    return it->value;
+        }
+        return arr[idx];
+    }
+    case ExprKind::Slice:
+        return eval(*e.a).slice(e.msb, e.lsb);
+    case ExprKind::Unary: {
+        BitVec v = eval(*e.a);
+        switch (e.un_op) {
+        case UnaryOp::Neg: return BitVec(v.width(), 0) - v;
+        case UnaryOp::BitNot: return v.bit_not();
+        case UnaryOp::LogNot: return v.log_not();
+        case UnaryOp::RedAnd: return v.red_and();
+        case UnaryOp::RedOr: return v.red_or();
+        case UnaryOp::RedXor: return v.red_xor();
+        }
+        return v;
+    }
+    case ExprKind::Binary: {
+        // Short-circuit the logical operators.
+        if (e.bin_op == BinaryOp::LogAnd) {
+            if (!eval(*e.a).to_bool())
+                return BitVec(1, 0);
+            return BitVec(1, eval(*e.b).to_bool());
+        }
+        if (e.bin_op == BinaryOp::LogOr) {
+            if (eval(*e.a).to_bool())
+                return BitVec(1, 1);
+            return BitVec(1, eval(*e.b).to_bool());
+        }
+        BitVec a = eval(*e.a);
+        BitVec b = eval(*e.b);
+        switch (e.bin_op) {
+        case BinaryOp::Add: return a + b;
+        case BinaryOp::Sub: return a - b;
+        case BinaryOp::Mul: return a * b;
+        case BinaryOp::Div: return a / b;
+        case BinaryOp::Mod: return a % b;
+        case BinaryOp::And: return a & b;
+        case BinaryOp::Or: return a | b;
+        case BinaryOp::Xor: return a ^ b;
+        case BinaryOp::Shl: return a << b;
+        case BinaryOp::Shr: return a >> b;
+        case BinaryOp::Eq: return a.eq(b);
+        case BinaryOp::Ne: return a.ne(b);
+        case BinaryOp::Lt: return a.lt(b);
+        case BinaryOp::Le: return a.le(b);
+        case BinaryOp::Gt: return a.gt(b);
+        case BinaryOp::Ge: return a.ge(b);
+        default: return a;
+        }
+    }
+    case ExprKind::Cond:
+        return eval(*e.a).to_bool() ? eval(*e.b) : eval(*e.c);
+    case ExprKind::Concat: {
+        BitVec acc = eval(*e.parts.front());
+        for (size_t i = 1; i < e.parts.size(); ++i)
+            acc = acc.concat(eval(*e.parts[i]));
+        return acc;
+    }
+    case ExprKind::Downgrade:
+        return eval(*e.a);
+    }
+    assert(false && "unreachable");
+    return BitVec(1, 0);
+}
+
+void Simulator::write_scalar(NetId net, const LValue& lv, BitVec value,
+                             ProcessKind kind) {
+    std::vector<BitVec>& store_vec =
+        kind == ProcessKind::Comb ? current_ : pending_;
+    uint32_t width = design_.net(net).width;
+    if (lv.has_range) {
+        BitVec old = store_vec[net];
+        uint64_t mask = BitVec::mask(lv.msb - lv.lsb + 1) << lv.lsb;
+        uint64_t merged = (old.value() & ~mask) |
+                          ((value.value() << lv.lsb) & mask);
+        store_vec[net] = BitVec(width, merged);
+    } else {
+        store_vec[net] = value.resize(width);
+    }
+}
+
+void Simulator::exec(const Stmt& s, ProcessKind kind) {
+    switch (s.kind) {
+    case StmtKind::Block:
+        for (const auto& st : s.stmts)
+            exec(*st, kind);
+        break;
+    case StmtKind::If:
+        if (eval(*s.cond).to_bool())
+            exec(*s.then_stmt, kind);
+        else if (s.else_stmt)
+            exec(*s.else_stmt, kind);
+        break;
+    case StmtKind::Assign: {
+        const Net& net = design_.net(s.lhs.net);
+        BitVec value = eval(*s.rhs);
+        if (net.array_size != 0) {
+            uint64_t idx = eval(*s.lhs.index).value() % net.array_size;
+            if (kind == ProcessKind::Comb)
+                arrays_[net.id][idx] = value.resize(net.width);
+            else
+                array_writes_.push_back({net.id, idx, value.resize(net.width)});
+        } else {
+            write_scalar(net.id, s.lhs, value, kind);
+        }
+        break;
+    }
+    case StmtKind::Assume:
+        if (!eval(*s.pred).to_bool())
+            violations_.push_back({cycle_, s.loc});
+        break;
+    }
+}
+
+void Simulator::begin_step() {
+    // Start of cycle: registers hold by default.
+    for (const Net& net : design_.nets)
+        if (net.kind == NetKind::Seq)
+            pending_[net.id] = current_[net.id];
+    array_writes_.clear();
+}
+
+void Simulator::exec_process(size_t process_index) {
+    exec(*design_.processes[process_index].body,
+         design_.processes[process_index].kind);
+}
+
+void Simulator::end_step() {
+    // TICK: commit next-cycle values.
+    for (const Net& net : design_.nets)
+        if (net.kind == NetKind::Seq && net.array_size == 0)
+            current_[net.id] = pending_[net.id];
+    for (const auto& w : array_writes_)
+        arrays_[w.net][w.index] = w.value;
+    array_writes_.clear();
+    ++cycle_;
+}
+
+void Simulator::step() {
+    begin_step();
+    for (size_t pi : design_.schedule)
+        exec_process(pi);
+    end_step();
+}
+
+void Simulator::run(uint64_t cycles) {
+    for (uint64_t i = 0; i < cycles; ++i)
+        step();
+}
+
+void Simulator::settle() {
+    for (size_t pi : design_.schedule)
+        if (design_.processes[pi].kind == ProcessKind::Comb)
+            exec(*design_.processes[pi].body, ProcessKind::Comb);
+}
+
+LevelId Simulator::current_label(NetId net) const {
+    const Lattice& lat = design_.policy.lattice();
+    LevelId acc = lat.bottom();
+    for (const auto& atom : design_.net(net).label.atoms) {
+        if (atom.kind == LabelAtom::Kind::Level) {
+            acc = lat.join(acc, atom.level);
+        } else {
+            std::vector<uint64_t> args;
+            for (NetId a : atom.args)
+                args.push_back(current_[a].value());
+            acc = lat.join(acc,
+                           design_.policy.function(atom.func).evaluate(args));
+        }
+    }
+    return acc;
+}
+
+LevelId Simulator::next_label(NetId net) const {
+    const Lattice& lat = design_.policy.lattice();
+    LevelId acc = lat.bottom();
+    for (const auto& atom : design_.net(net).label.atoms) {
+        if (atom.kind == LabelAtom::Kind::Level) {
+            acc = lat.join(acc, atom.level);
+        } else {
+            std::vector<uint64_t> args;
+            for (NetId a : atom.args) {
+                // Sequential arguments take their next-cycle values, com
+                // arguments their current ones — mirroring Γ(r){r⃗'/r⃗}.
+                bool seq = design_.net(a).kind == NetKind::Seq;
+                args.push_back((seq ? pending_[a] : current_[a]).value());
+            }
+            acc = lat.join(acc,
+                           design_.policy.function(atom.func).evaluate(args));
+        }
+    }
+    return acc;
+}
+
+} // namespace svlc::sim

@@ -1,0 +1,89 @@
+#include "sim/vcd.hpp"
+
+#include <cassert>
+
+namespace svlc::sim {
+
+using namespace hir;
+
+VcdWriter::VcdWriter(const Design& design, std::ostream& os,
+                     std::vector<NetId> watches, bool emit_labels)
+    : design_(design), os_(os), emit_labels_(emit_labels) {
+    if (watches.empty())
+        for (const Net& net : design.nets)
+            if (net.array_size == 0)
+                watches.push_back(net.id);
+    size_t counter = 0;
+    for (NetId n : watches) {
+        Watch w;
+        w.net = n;
+        w.id = code_for(counter++);
+        if (emit_labels_ && !design.net(n).label.is_static())
+            w.label_id = code_for(counter++);
+        watches_.push_back(std::move(w));
+    }
+}
+
+std::string VcdWriter::code_for(size_t index) {
+    // Printable identifier codes: base-94 over '!'..'~'.
+    std::string code;
+    do {
+        code.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index != 0);
+    return code;
+}
+
+void VcdWriter::begin() {
+    os_ << "$timescale 1ns $end\n";
+    os_ << "$scope module " << (design_.top_name.empty() ? "top"
+                                                         : design_.top_name)
+        << " $end\n";
+    for (const Watch& w : watches_) {
+        const Net& net = design_.net(w.net);
+        std::string name = net.name;
+        for (char& c : name)
+            if (c == '.')
+                c = '_';
+        os_ << "$var wire " << net.width << " " << w.id << " " << name
+            << " $end\n";
+        if (!w.label_id.empty())
+            os_ << "$var wire 8 " << w.label_id << " " << name
+                << "__label $end\n";
+    }
+    os_ << "$upscope $end\n$enddefinitions $end\n";
+    started_ = true;
+}
+
+void VcdWriter::sample(const Simulator& sim) {
+    assert(started_ && "call begin() first");
+    os_ << "#" << sim.cycle() << "\n";
+    for (Watch& w : watches_) {
+        uint64_t value = sim.get(w.net).value();
+        if (value != w.last_value) {
+            w.last_value = value;
+            const Net& net = design_.net(w.net);
+            if (net.width == 1) {
+                os_ << (value ? '1' : '0') << w.id << "\n";
+            } else {
+                os_ << "b";
+                for (int bit = static_cast<int>(net.width) - 1; bit >= 0;
+                     --bit)
+                    os_ << ((value >> bit) & 1);
+                os_ << " " << w.id << "\n";
+            }
+        }
+        if (!w.label_id.empty()) {
+            uint64_t level = sim.current_label(w.net);
+            if (level != w.last_label) {
+                w.last_label = level;
+                os_ << "b";
+                for (int bit = 7; bit >= 0; --bit)
+                    os_ << ((level >> bit) & 1);
+                os_ << " " << w.label_id << "\n";
+            }
+        }
+    }
+}
+
+} // namespace svlc::sim

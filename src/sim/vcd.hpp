@@ -1,0 +1,47 @@
+// Value-change-dump (VCD) writer: records selected nets (or all scalar
+// nets) each cycle so waveforms from the SecVerilogLC simulator can be
+// inspected in any standard viewer. Optionally emits a companion signal
+// per dependently-labeled net carrying the *numeric level* of its label,
+// making label changes visible on the wave.
+#pragma once
+
+#include "sem/hir.hpp"
+#include "sim/simulator.hpp"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace svlc::sim {
+
+class VcdWriter {
+public:
+    /// Watches the given nets; an empty list watches every scalar net.
+    VcdWriter(const hir::Design& design, std::ostream& os,
+              std::vector<hir::NetId> watches = {},
+              bool emit_labels = true);
+
+    /// Emits the header; call once before the first sample.
+    void begin();
+
+    /// Samples the simulator's current state at time = sim.cycle().
+    void sample(const Simulator& sim);
+
+private:
+    struct Watch {
+        hir::NetId net;
+        std::string id;       // VCD identifier code
+        std::string label_id; // companion label signal ("" if none)
+        uint64_t last_value = ~uint64_t{0};
+        uint64_t last_label = ~uint64_t{0};
+    };
+    static std::string code_for(size_t index);
+
+    const hir::Design& design_;
+    std::ostream& os_;
+    bool emit_labels_;
+    std::vector<Watch> watches_;
+    bool started_ = false;
+};
+
+} // namespace svlc::sim

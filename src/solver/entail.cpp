@@ -1,0 +1,331 @@
+#include "solver/entail.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace svlc::solver {
+
+using namespace hir;
+
+bool expr_equal(const Expr& a, const Expr& b) {
+    if (a.kind != b.kind || a.width != b.width)
+        return false;
+    switch (a.kind) {
+    case ExprKind::Const:
+        return a.value == b.value;
+    case ExprKind::NetRef:
+        return a.net == b.net && a.primed == b.primed;
+    case ExprKind::ArrayRead:
+        return a.net == b.net && a.primed == b.primed &&
+               expr_equal(*a.index, *b.index);
+    case ExprKind::Slice:
+        return a.msb == b.msb && a.lsb == b.lsb && expr_equal(*a.a, *b.a);
+    case ExprKind::Unary:
+        return a.un_op == b.un_op && expr_equal(*a.a, *b.a);
+    case ExprKind::Binary:
+        return a.bin_op == b.bin_op && expr_equal(*a.a, *b.a) &&
+               expr_equal(*a.b, *b.b);
+    case ExprKind::Cond:
+        return expr_equal(*a.a, *b.a) && expr_equal(*a.b, *b.b) &&
+               expr_equal(*a.c, *b.c);
+    case ExprKind::Concat:
+        if (a.parts.size() != b.parts.size())
+            return false;
+        for (size_t i = 0; i < a.parts.size(); ++i)
+            if (!expr_equal(*a.parts[i], *b.parts[i]))
+                return false;
+        return true;
+    case ExprKind::Downgrade:
+        return a.dg_kind == b.dg_kind && expr_equal(*a.a, *b.a);
+    }
+    return false;
+}
+
+EntailmentEngine::EntailmentEngine(const Design& design,
+                                   const sem::Equations& eqs,
+                                   EntailOptions opts)
+    : design_(design), eqs_(eqs), opts_(opts) {}
+
+void EntailmentEngine::add_var(NetId net, bool primed,
+                               std::vector<Var>& out) const {
+    Var v{net, primed};
+    if (std::find(out.begin(), out.end(), v) == out.end())
+        out.push_back(v);
+}
+
+void EntailmentEngine::collect_vars(const Expr& e,
+                                    std::vector<Var>& out) const {
+    switch (e.kind) {
+    case ExprKind::Const:
+        return;
+    case ExprKind::NetRef:
+        add_var(e.net, e.primed, out);
+        return;
+    case ExprKind::ArrayRead:
+        // The array contents are not enumerable; only the index matters.
+        if (e.index)
+            collect_vars(*e.index, out);
+        return;
+    default:
+        if (e.index)
+            collect_vars(*e.index, out);
+        if (e.a)
+            collect_vars(*e.a, out);
+        if (e.b)
+            collect_vars(*e.b, out);
+        if (e.c)
+            collect_vars(*e.c, out);
+        for (const auto& p : e.parts)
+            collect_vars(*p, out);
+        return;
+    }
+}
+
+namespace {
+
+/// True when `fact` is the equation `x == y` (either order) for net vars.
+bool is_var_equation(const Expr& fact, const LabelArg& x, const LabelArg& y) {
+    if (fact.kind != ExprKind::Binary || fact.bin_op != BinaryOp::Eq)
+        return false;
+    auto matches = [](const Expr& e, const LabelArg& v) {
+        return e.kind == ExprKind::NetRef && e.net == v.net &&
+               e.primed == v.primed;
+    };
+    return (matches(*fact.a, x) && matches(*fact.b, y)) ||
+           (matches(*fact.a, y) && matches(*fact.b, x));
+}
+
+/// Join over the whole range of a label function (default + entries).
+LevelId function_range_join(const LabelFunction& fn, const Lattice& lat) {
+    LevelId acc = fn.default_level();
+    for (const auto& e : fn.entries())
+        acc = lat.join(acc, e.level);
+    return acc;
+}
+
+} // namespace
+
+bool EntailmentEngine::syntactic_covered(
+    const SolverAtom& atom, const SolverLabel& rhs,
+    const std::vector<const Expr*>& facts) const {
+    const Lattice& lat = design_.policy.lattice();
+    if (atom.kind == SolverAtom::Kind::Level) {
+        if (atom.level == lat.bottom())
+            return true;
+        for (const auto& r : rhs.atoms)
+            if (r.kind == SolverAtom::Kind::Level &&
+                lat.flows(atom.level, r.level))
+                return true;
+        return false;
+    }
+    // Function atom: identical atom on the right, congruence through an
+    // equation fact, or the function's whole range flows into a static
+    // right-hand atom.
+    for (const auto& r : rhs.atoms) {
+        if (r.kind == SolverAtom::Kind::Func && r.func == atom.func &&
+            r.args.size() == atom.args.size()) {
+            bool all = true;
+            for (size_t i = 0; i < r.args.size(); ++i) {
+                if (atom.args[i] == r.args[i])
+                    continue;
+                bool equated = false;
+                for (const Expr* f : facts)
+                    if (is_var_equation(*f, atom.args[i], r.args[i])) {
+                        equated = true;
+                        break;
+                    }
+                if (!equated) {
+                    all = false;
+                    break;
+                }
+            }
+            if (all)
+                return true;
+        }
+    }
+    LevelId range = function_range_join(design_.policy.function(atom.func), lat);
+    for (const auto& r : rhs.atoms)
+        if (r.kind == SolverAtom::Kind::Level && lat.flows(range, r.level))
+            return true;
+    return false;
+}
+
+EntailResult EntailmentEngine::check_flow(
+    const SolverLabel& lhs, const SolverLabel& rhs,
+    const std::vector<const Expr*>& user_facts) {
+    ++stats_.queries;
+    EntailResult result;
+
+    // ------------------------------------------------------------------
+    // Fast path: syntactic coverage of every left atom.
+    // ------------------------------------------------------------------
+    {
+        bool all = true;
+        for (const auto& atom : lhs.atoms)
+            all = all && syntactic_covered(atom, rhs, user_facts);
+        if (all) {
+            ++stats_.syntactic_hits;
+            result.status = EntailStatus::Proven;
+            result.syntactic = true;
+            return result;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gather variables and pull in defining equations (closure).
+    // ------------------------------------------------------------------
+    std::vector<const Expr*> facts = user_facts;
+    std::vector<ExprPtr> owned; // storage for synthesized equation facts
+    std::vector<Var> vars;
+    for (const auto& atom : lhs.atoms)
+        for (const auto& arg : atom.args)
+            add_var(arg.net, arg.primed, vars);
+    for (const auto& atom : rhs.atoms)
+        for (const auto& arg : atom.args)
+            add_var(arg.net, arg.primed, vars);
+    size_t label_var_count = vars.size();
+    for (const Expr* f : facts)
+        collect_vars(*f, vars);
+
+    if (opts_.use_equations) {
+        std::vector<Var> processed;
+        size_t frontier_begin = 0;
+        for (int depth = 0; depth < opts_.closure_depth; ++depth) {
+            size_t frontier_end = vars.size();
+            for (size_t vi = frontier_begin; vi < frontier_end; ++vi) {
+                Var v = vars[vi];
+                if (std::find(processed.begin(), processed.end(), v) !=
+                    processed.end())
+                    continue;
+                processed.push_back(v);
+                const Net& net = design_.net(v.first);
+                ExprPtr equation;
+                if (v.second && opts_.use_primed_equations) {
+                    // Primed: r' == def(r), or r' == r when undriven.
+                    const Expr* def = eqs_.def(v.first);
+                    ExprPtr rhs_expr =
+                        def ? def->clone()
+                            : Expr::make_net(v.first, net.width, false);
+                    equation = Expr::make_binary(
+                        BinaryOp::Eq,
+                        Expr::make_net(v.first, net.width, true),
+                        std::move(rhs_expr));
+                } else if (!v.second && net.kind == NetKind::Com &&
+                           opts_.use_com_equations) {
+                    const Expr* def = eqs_.def(v.first);
+                    if (def)
+                        equation = Expr::make_binary(
+                            BinaryOp::Eq,
+                            Expr::make_net(v.first, net.width, false),
+                            def->clone());
+                }
+                if (equation) {
+                    collect_vars(*equation, vars);
+                    facts.push_back(equation.get());
+                    owned.push_back(std::move(equation));
+                }
+            }
+            frontier_begin = frontier_end;
+            if (frontier_begin == vars.size())
+                break;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Choose the enumeration set: label arguments first (they decide the
+    // goal), then remaining small variables, under the domain budget.
+    // ------------------------------------------------------------------
+    std::stable_sort(vars.begin() + static_cast<long>(label_var_count),
+                     vars.end(), [&](const Var& a, const Var& b) {
+                         return design_.net(a.first).width <
+                                design_.net(b.first).width;
+                     });
+    std::vector<Var> enum_vars;
+    uint64_t domain = 1;
+    for (const Var& v : vars) {
+        const Net& net = design_.net(v.first);
+        if (net.array_size != 0)
+            continue;
+        if (net.width > opts_.max_enum_width)
+            continue;
+        uint64_t size = uint64_t{1} << net.width;
+        if (domain > opts_.max_candidates / size)
+            break;
+        if (enum_vars.size() >= opts_.max_enum_vars)
+            break;
+        enum_vars.push_back(v);
+        domain *= size;
+    }
+
+    // ------------------------------------------------------------------
+    // Enumerate candidates.
+    // ------------------------------------------------------------------
+    ++stats_.enumerations;
+    bool any_unknown_failure = false;
+    std::string unknown_note;
+    for (uint64_t idx = 0; idx < domain; ++idx) {
+        Assignment asg;
+        uint64_t rest = idx;
+        for (const Var& v : enum_vars) {
+            uint32_t w = design_.net(v.first).width;
+            uint64_t size = uint64_t{1} << w;
+            asg.set(v.first, v.second, BitVec(w, rest % size));
+            rest /= size;
+        }
+        ++stats_.total_candidates;
+        ++result.candidates;
+
+        bool definitely_sat = true;
+        bool possibly_sat = true;
+        for (const Expr* f : facts) {
+            auto v = eval3(*f, asg);
+            if (v && v->is_zero()) {
+                possibly_sat = false;
+                break;
+            }
+            if (!v)
+                definitely_sat = false;
+        }
+        if (!possibly_sat)
+            continue;
+
+        auto lv = eval_label(lhs, design_, asg);
+        auto rv = eval_label(rhs, design_, asg);
+        if (lv && rv) {
+            if (design_.policy.lattice().flows(*lv, *rv))
+                continue;
+            std::ostringstream os;
+            for (const Var& v : enum_vars) {
+                os << design_.net(v.first).name << (v.second ? "'" : "")
+                   << "=" << asg.get(v.first, v.second)->value() << " ";
+            }
+            os << "gives " << design_.policy.lattice().name(*lv) << " ⋢ "
+               << design_.policy.lattice().name(*rv);
+            if (definitely_sat) {
+                result.status = EntailStatus::Refuted;
+                result.detail = os.str();
+                return result;
+            }
+            any_unknown_failure = true;
+            if (unknown_note.empty())
+                unknown_note = "possibly-reachable violation: " + os.str();
+        } else {
+            any_unknown_failure = true;
+            if (unknown_note.empty())
+                unknown_note =
+                    "label value depends on signals beyond the "
+                    "enumeration budget";
+        }
+    }
+
+    if (!any_unknown_failure) {
+        result.status = EntailStatus::Proven;
+    } else {
+        result.status = EntailStatus::Unknown;
+        result.detail = unknown_note;
+    }
+    return result;
+}
+
+} // namespace svlc::solver

@@ -1,0 +1,78 @@
+#include "solver/label.hpp"
+
+#include <algorithm>
+
+namespace svlc::solver {
+
+SolverLabel SolverLabel::from_hir(const hir::Label& label,
+                                  const hir::Design& design,
+                                  bool primed_seq) {
+    SolverLabel out;
+    for (const auto& atom : label.atoms) {
+        SolverAtom sa;
+        if (atom.kind == hir::LabelAtom::Kind::Level) {
+            sa.kind = SolverAtom::Kind::Level;
+            sa.level = atom.level;
+        } else {
+            sa.kind = SolverAtom::Kind::Func;
+            sa.func = atom.func;
+            for (hir::NetId arg : atom.args) {
+                bool primed = primed_seq &&
+                              design.net(arg).kind == hir::NetKind::Seq;
+                sa.args.push_back({arg, primed});
+            }
+        }
+        out.atoms.push_back(std::move(sa));
+    }
+    return out;
+}
+
+SolverLabel SolverLabel::level(LevelId l) {
+    SolverLabel out;
+    SolverAtom a;
+    a.kind = SolverAtom::Kind::Level;
+    a.level = l;
+    out.atoms.push_back(a);
+    return out;
+}
+
+void SolverLabel::join_with(const SolverLabel& other) {
+    for (const auto& atom : other.atoms)
+        if (std::find(atoms.begin(), atoms.end(), atom) == atoms.end())
+            atoms.push_back(atom);
+}
+
+bool SolverLabel::is_static() const {
+    for (const auto& a : atoms)
+        if (a.kind == SolverAtom::Kind::Func)
+            return false;
+    return true;
+}
+
+std::string SolverLabel::str(const hir::Design& design) const {
+    if (atoms.empty())
+        return "⊥";
+    std::string out;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+        if (i)
+            out += " ⊔ ";
+        const auto& a = atoms[i];
+        if (a.kind == SolverAtom::Kind::Level) {
+            out += design.policy.lattice().name(a.level);
+        } else {
+            out += design.policy.function(a.func).name();
+            out += "(";
+            for (size_t j = 0; j < a.args.size(); ++j) {
+                if (j)
+                    out += ", ";
+                out += design.net(a.args[j].net).name;
+                if (a.args[j].primed)
+                    out += "'";
+            }
+            out += ")";
+        }
+    }
+    return out;
+}
+
+} // namespace svlc::solver

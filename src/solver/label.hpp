@@ -1,0 +1,52 @@
+// Solver-side security labels. Unlike hir::Label (whose function
+// arguments are plain nets), solver labels distinguish current-cycle and
+// next-cycle argument values: the T-ASGNSEQ rule substitutes each
+// sequential argument r with its next-cycle symbol r'
+// (τ' = Γ(r){r⃗'/r⃗}, paper Fig. 7).
+#pragma once
+
+#include "sem/hir.hpp"
+
+#include <string>
+#include <vector>
+
+namespace svlc::solver {
+
+struct LabelArg {
+    hir::NetId net = hir::kInvalidNet;
+    bool primed = false;
+    friend bool operator==(const LabelArg&, const LabelArg&) = default;
+};
+
+struct SolverAtom {
+    enum class Kind { Level, Func };
+    Kind kind = Kind::Level;
+    LevelId level = kInvalidLevel;
+    FuncId func = kInvalidFunc;
+    std::vector<LabelArg> args;
+    friend bool operator==(const SolverAtom&, const SolverAtom&) = default;
+};
+
+/// A join of atoms; empty = lattice bottom.
+struct SolverLabel {
+    std::vector<SolverAtom> atoms;
+
+    /// Converts an HIR label. When `primed_seq` is set, sequential-net
+    /// arguments become next-cycle symbols (com arguments keep their
+    /// current-cycle meaning, exactly following the {r⃗'/r⃗} substitution).
+    static SolverLabel from_hir(const hir::Label& label,
+                                const hir::Design& design,
+                                bool primed_seq = false);
+
+    static SolverLabel level(LevelId l);
+    static SolverLabel bottom() { return {}; }
+
+    /// Joins another label into this one (deduplicating atoms).
+    void join_with(const SolverLabel& other);
+
+    [[nodiscard]] bool is_static() const;
+    [[nodiscard]] std::string str(const hir::Design& design) const;
+    friend bool operator==(const SolverLabel&, const SolverLabel&) = default;
+};
+
+} // namespace svlc::solver

@@ -1,0 +1,92 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace svlc {
+
+const char* diag_code_name(DiagCode code) {
+    switch (code) {
+    case DiagCode::UnexpectedChar: return "unexpected-char";
+    case DiagCode::UnterminatedComment: return "unterminated-comment";
+    case DiagCode::BadNumericLiteral: return "bad-numeric-literal";
+    case DiagCode::ExpectedToken: return "expected-token";
+    case DiagCode::UnexpectedToken: return "unexpected-token";
+    case DiagCode::DuplicateDefinition: return "duplicate-definition";
+    case DiagCode::UnknownIdentifier: return "unknown-identifier";
+    case DiagCode::UnknownModule: return "unknown-module";
+    case DiagCode::UnknownFunction: return "unknown-function";
+    case DiagCode::PortMismatch: return "port-mismatch";
+    case DiagCode::WidthMismatch: return "width-mismatch";
+    case DiagCode::BadIndex: return "bad-index";
+    case DiagCode::CombLoop: return "comb-loop";
+    case DiagCode::InferredLatch: return "inferred-latch";
+    case DiagCode::MultipleDrivers: return "multiple-drivers";
+    case DiagCode::SeqAssignToCom: return "seq-assign-to-com";
+    case DiagCode::ComAssignToSeq: return "com-assign-to-seq";
+    case DiagCode::NextOfCombInput: return "next-of-comb-input";
+    case DiagCode::LabelDependencyCycle: return "label-dependency-cycle";
+    case DiagCode::LabelDependencyNotSeq: return "label-dependency-not-seq";
+    case DiagCode::BadLabelFunctionArity: return "bad-label-function-arity";
+    case DiagCode::NotAConstant: return "not-a-constant";
+    case DiagCode::ArrayMisuse: return "array-misuse";
+    case DiagCode::IllegalFlow: return "illegal-flow";
+    case DiagCode::IllegalFlowSeq: return "illegal-flow-seq";
+    case DiagCode::ImplicitFlow: return "implicit-flow";
+    case DiagCode::DowngradeNotAllowed: return "downgrade-not-allowed";
+    case DiagCode::SelfReferentialLabel: return "self-referential-label";
+    case DiagCode::UnknownLevel: return "unknown-level";
+    case DiagCode::BadLatticeFlow: return "bad-lattice-flow";
+    case DiagCode::AssumeViolated: return "assume-violated";
+    case DiagCode::Unsupported: return "unsupported";
+    }
+    return "unknown";
+}
+
+void DiagnosticEngine::report(Severity sev, DiagCode code, SourceLoc loc,
+                              std::string msg) {
+    if (sev == Severity::Error)
+        ++errors_;
+    diags_.push_back({sev, code, loc, std::move(msg)});
+}
+
+bool DiagnosticEngine::has_code(DiagCode code) const {
+    return count_code(code) != 0;
+}
+
+size_t DiagnosticEngine::count_code(DiagCode code) const {
+    size_t n = 0;
+    for (const auto& d : diags_)
+        if (d.code == code)
+            ++n;
+    return n;
+}
+
+void DiagnosticEngine::clear() {
+    diags_.clear();
+    errors_ = 0;
+}
+
+std::string DiagnosticEngine::render() const {
+    std::ostringstream os;
+    for (const auto& d : diags_) {
+        const char* sev = d.severity == Severity::Error     ? "error"
+                          : d.severity == Severity::Warning ? "warning"
+                                                            : "note";
+        if (sm_ != nullptr)
+            os << sm_->describe(d.loc) << ": ";
+        os << sev << " [" << diag_code_name(d.code) << "] " << d.message
+           << "\n";
+        if (sm_ != nullptr && d.loc.valid()) {
+            auto line = sm_->line_text(d.loc);
+            if (!line.empty()) {
+                os << "  " << line << "\n  ";
+                for (uint32_t i = 1; i < d.loc.column; ++i)
+                    os << ' ';
+                os << "^\n";
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace svlc

@@ -1,0 +1,103 @@
+// Diagnostic engine shared by the parser, elaborator, and type checkers.
+#pragma once
+
+#include "support/source_location.hpp"
+#include "support/source_manager.hpp"
+
+#include <string>
+#include <vector>
+
+namespace svlc {
+
+enum class Severity { Note, Warning, Error };
+
+/// Stable diagnostic codes so tests can assert on *which* rule fired
+/// rather than matching message text.
+enum class DiagCode {
+    // Lexing / parsing
+    UnexpectedChar,
+    UnterminatedComment,
+    BadNumericLiteral,
+    ExpectedToken,
+    UnexpectedToken,
+    DuplicateDefinition,
+    // Elaboration / well-formedness
+    UnknownIdentifier,
+    UnknownModule,
+    UnknownFunction,
+    PortMismatch,
+    WidthMismatch,
+    BadIndex,
+    CombLoop,
+    InferredLatch,
+    MultipleDrivers,
+    SeqAssignToCom,
+    ComAssignToSeq,
+    NextOfCombInput,
+    LabelDependencyCycle,
+    LabelDependencyNotSeq,
+    BadLabelFunctionArity,
+    NotAConstant,
+    ArrayMisuse,
+    // Type checking
+    IllegalFlow,
+    IllegalFlowSeq,
+    ImplicitFlow,
+    DowngradeNotAllowed,
+    SelfReferentialLabel,
+    // Policy
+    UnknownLevel,
+    BadLatticeFlow,
+    // Simulation
+    AssumeViolated,
+    // Generic
+    Unsupported,
+};
+
+const char* diag_code_name(DiagCode code);
+
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    DiagCode code = DiagCode::Unsupported;
+    SourceLoc loc;
+    std::string message;
+};
+
+/// Collects diagnostics. Phases report through this; drivers decide how
+/// to render (see `render`).
+class DiagnosticEngine {
+public:
+    explicit DiagnosticEngine(const SourceManager* sm = nullptr) : sm_(sm) {}
+
+    void report(Severity sev, DiagCode code, SourceLoc loc, std::string msg);
+    void error(DiagCode code, SourceLoc loc, std::string msg) {
+        report(Severity::Error, code, loc, std::move(msg));
+    }
+    void warning(DiagCode code, SourceLoc loc, std::string msg) {
+        report(Severity::Warning, code, loc, std::move(msg));
+    }
+    void note(DiagCode code, SourceLoc loc, std::string msg) {
+        report(Severity::Note, code, loc, std::move(msg));
+    }
+
+    [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+        return diags_;
+    }
+    [[nodiscard]] size_t error_count() const { return errors_; }
+    [[nodiscard]] bool has_errors() const { return errors_ != 0; }
+    [[nodiscard]] bool has_code(DiagCode code) const;
+    /// Count of diagnostics carrying `code` (any severity).
+    [[nodiscard]] size_t count_code(DiagCode code) const;
+    void clear();
+
+    /// Renders all diagnostics with source snippets when a SourceManager
+    /// is attached.
+    [[nodiscard]] std::string render() const;
+
+private:
+    const SourceManager* sm_;
+    std::vector<Diagnostic> diags_;
+    size_t errors_ = 0;
+};
+
+} // namespace svlc

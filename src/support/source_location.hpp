@@ -1,0 +1,33 @@
+// Source locations and ranges used by every diagnostic-producing phase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace svlc {
+
+/// A position within a source buffer registered with SourceManager.
+/// `file` is the buffer id; `line`/`column` are 1-based. A default
+/// constructed location is "unknown" and prints as "<unknown>".
+struct SourceLoc {
+    uint32_t file = 0;
+    uint32_t line = 0;
+    uint32_t column = 0;
+
+    [[nodiscard]] bool valid() const { return line != 0; }
+    friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Half-open range [begin, end) over a single buffer.
+struct SourceRange {
+    SourceLoc begin;
+    SourceLoc end;
+
+    SourceRange() = default;
+    SourceRange(SourceLoc b, SourceLoc e) : begin(b), end(e) {}
+    explicit SourceRange(SourceLoc b) : begin(b), end(b) {}
+
+    [[nodiscard]] bool valid() const { return begin.valid(); }
+};
+
+} // namespace svlc

@@ -1,0 +1,54 @@
+#include "support/source_manager.hpp"
+
+#include <cassert>
+
+namespace svlc {
+
+uint32_t SourceManager::add_buffer(std::string name, std::string text) {
+    Buffer buf;
+    buf.name = std::move(name);
+    buf.text = std::move(text);
+    buf.line_offsets.push_back(0);
+    for (size_t i = 0; i < buf.text.size(); ++i) {
+        if (buf.text[i] == '\n')
+            buf.line_offsets.push_back(i + 1);
+    }
+    buffers_.push_back(std::move(buf));
+    return static_cast<uint32_t>(buffers_.size()); // 1-based
+}
+
+std::string_view SourceManager::buffer_text(uint32_t id) const {
+    assert(id >= 1 && id <= buffers_.size());
+    return buffers_[id - 1].text;
+}
+
+const std::string& SourceManager::buffer_name(uint32_t id) const {
+    static const std::string unknown = "<unknown>";
+    if (id < 1 || id > buffers_.size())
+        return unknown;
+    return buffers_[id - 1].name;
+}
+
+std::string_view SourceManager::line_text(SourceLoc loc) const {
+    if (loc.file < 1 || loc.file > buffers_.size() || loc.line == 0)
+        return {};
+    const Buffer& buf = buffers_[loc.file - 1];
+    if (loc.line > buf.line_offsets.size())
+        return {};
+    size_t begin = buf.line_offsets[loc.line - 1];
+    size_t end = (loc.line < buf.line_offsets.size())
+                     ? buf.line_offsets[loc.line] - 1
+                     : buf.text.size();
+    if (end > begin && buf.text[end - 1] == '\r')
+        --end;
+    return std::string_view(buf.text).substr(begin, end - begin);
+}
+
+std::string SourceManager::describe(SourceLoc loc) const {
+    if (!loc.valid())
+        return "<unknown>";
+    return buffer_name(loc.file) + ":" + std::to_string(loc.line) + ":" +
+           std::to_string(loc.column);
+}
+
+} // namespace svlc

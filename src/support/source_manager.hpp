@@ -1,0 +1,39 @@
+// Owns source buffers and maps offsets to line/column positions.
+#pragma once
+
+#include "support/source_location.hpp"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svlc {
+
+/// Registry of source buffers. Buffer ids are 1-based; id 0 is reserved
+/// for "no file". The manager owns buffer text so that string_views handed
+/// to the lexer remain valid for the manager's lifetime.
+class SourceManager {
+public:
+    /// Registers a buffer and returns its id.
+    uint32_t add_buffer(std::string name, std::string text);
+
+    [[nodiscard]] std::string_view buffer_text(uint32_t id) const;
+    [[nodiscard]] const std::string& buffer_name(uint32_t id) const;
+    [[nodiscard]] size_t buffer_count() const { return buffers_.size(); }
+
+    /// Returns the full text of the line containing `loc` (no newline).
+    [[nodiscard]] std::string_view line_text(SourceLoc loc) const;
+
+    /// Formats "name:line:col".
+    [[nodiscard]] std::string describe(SourceLoc loc) const;
+
+private:
+    struct Buffer {
+        std::string name;
+        std::string text;
+        std::vector<size_t> line_offsets; // offset of start of each line
+    };
+    std::vector<Buffer> buffers_;
+};
+
+} // namespace svlc

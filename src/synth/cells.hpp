@@ -1,0 +1,64 @@
+// A small liberty-style standard-cell model approximating a 65 nm
+// process. This substitutes for Synopsys Design Compiler + the TSMC 65 nm
+// library used in the paper (§3.3): the experiments there compare the
+// *same* design in two forms through one flow, so any consistent,
+// size-accurate area/delay model preserves the reported shape (a small
+// label-mux + FF-mapping overhead).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace svlc::synth {
+
+struct CellSpec {
+    const char* name;
+    double area_um2;
+    double delay_ns;
+};
+
+enum class Cell {
+    Inv,
+    Nand2,
+    And2,
+    Or2,
+    Xor2,
+    Mux2,
+    FullAdder,
+    Dff,
+    DffEn, // flip-flop with built-in clock enable
+};
+
+inline const CellSpec& cell_spec(Cell c) {
+    static const CellSpec table[] = {
+        {"INV", 0.72, 0.015},   {"NAND2", 1.08, 0.020},
+        {"AND2", 1.44, 0.025},  {"OR2", 1.44, 0.025},
+        {"XOR2", 2.16, 0.035},  {"MUX2", 2.52, 0.030},
+        {"FA", 5.04, 0.070},    {"DFF", 4.68, 0.100},
+        {"DFFE", 6.30, 0.100},
+    };
+    return table[static_cast<int>(c)];
+}
+
+/// Timing constants of the model.
+struct TimingModel {
+    double clk_to_q_ns = 0.12;
+    double setup_ns = 0.08;
+    /// Per-stage delay of carry-lookahead groups (adders, comparators).
+    double cla_stage_ns = 0.08;
+};
+
+/// Accumulates mapped cells.
+struct CellCounts {
+    std::map<std::string, uint64_t> by_name;
+    double area_um2 = 0;
+
+    void add(Cell c, uint64_t n = 1) {
+        const CellSpec& spec = cell_spec(c);
+        by_name[spec.name] += n;
+        area_um2 += spec.area_um2 * static_cast<double>(n);
+    }
+};
+
+} // namespace svlc::synth

@@ -1,0 +1,47 @@
+// Technology mapping + static timing estimation over the elaborated
+// design. Every net's defining equation is mapped onto the cell model in
+// cells.hpp; registers map to flip-flops, with an optional enable-FF
+// optimization (r' = en ? d : r patterns map to DFFE instead of
+// DFF + mux). The paper notes (§3.3) that its SecVerilogLC compiler did
+// *not* use enable FFs while the hand-written baseline did — one of the
+// two sources of the 0.7% area overhead — so the option is exposed.
+#pragma once
+
+#include "sem/hir.hpp"
+#include "synth/cells.hpp"
+
+#include <string>
+
+namespace svlc::synth {
+
+struct SynthOptions {
+    /// Map `r' = en ? d : r` register updates onto enable flip-flops.
+    bool use_enable_ff = true;
+    double target_clock_ns = 2.0;
+    /// Arrays with at least this many entries map to SRAM macros
+    /// (per-bit macro area, fixed access time) instead of discrete
+    /// flip-flops — memories are macro-compiled in any real flow and are
+    /// identical across design variants.
+    uint32_t sram_threshold_words = 64;
+    double sram_bit_area_um2 = 0.40;
+    double sram_access_ns = 0.45;
+};
+
+struct SynthReport {
+    double area_um2 = 0;
+    double critical_path_ns = 0;
+    bool meets_target = false;
+    double target_clock_ns = 0;
+    CellCounts cells;
+    uint64_t ff_bits = 0;
+    uint64_t enable_ff_bits = 0;
+    uint64_t sram_bits = 0;
+    double sram_area_um2 = 0;
+
+    [[nodiscard]] std::string summary() const;
+};
+
+SynthReport synthesize(const hir::Design& design,
+                       const SynthOptions& opts = {});
+
+} // namespace svlc::synth

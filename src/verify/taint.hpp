@@ -1,0 +1,67 @@
+// GLIFT-style dynamic information-flow tracking at the RTL level
+// [Tiwari et al., ASPLOS 2009] — the run-time alternative the paper
+// compares against (§4). Every net carries a shadow taint level; taints
+// join through every operation and through the guards of taken branches.
+//
+// This gives the comparison experiment its baseline: run-time tracking
+// monitors one execution at a per-cycle cost, while SecVerilogLC checks
+// all executions statically at design time.
+#pragma once
+
+#include "sem/hir.hpp"
+#include "sim/simulator.hpp"
+
+#include <vector>
+
+namespace svlc::verify {
+
+struct TaintViolation {
+    uint64_t cycle;
+    hir::NetId net;
+    LevelId taint;
+    LevelId declared;
+};
+
+/// Shadow interpreter running in lock-step with a Simulator: step(sim)
+/// *replaces* sim.step() — it interleaves taint propagation with the
+/// simulator's own process evaluation so branch decisions and array
+/// indices are resolved against exactly the state each process sees.
+class TaintTracker {
+public:
+    explicit TaintTracker(const hir::Design& design);
+
+    /// Resets all taints to bottom.
+    void reset();
+
+    /// Advances simulator and shadow state by one cycle.
+    void step(sim::Simulator& sim);
+
+    [[nodiscard]] LevelId taint(hir::NetId net) const { return current_[net]; }
+    [[nodiscard]] LevelId array_taint(hir::NetId net, uint64_t index) const {
+        return array_taints_[net][index];
+    }
+    [[nodiscard]] const std::vector<TaintViolation>& violations() const {
+        return violations_;
+    }
+    [[nodiscard]] uint64_t cycle() const { return cycle_; }
+
+private:
+    LevelId eval_taint(const hir::Expr& e, const sim::Simulator& sim) const;
+    void exec(const hir::Stmt& s, hir::ProcessKind kind, LevelId pc,
+              const sim::Simulator& sim);
+
+    const hir::Design& design_;
+    std::vector<LevelId> current_;
+    std::vector<LevelId> pending_;
+    std::vector<std::vector<LevelId>> array_taints_;
+    struct ArrayTaintWrite {
+        hir::NetId net;
+        uint64_t index;
+        LevelId taint;
+    };
+    std::vector<ArrayTaintWrite> array_writes_;
+    std::vector<TaintViolation> violations_;
+    uint64_t cycle_ = 0;
+};
+
+} // namespace svlc::verify

@@ -1,0 +1,26 @@
+// HIR expression simplification: constant folding and algebraic identity
+// rewriting over elaborated designs. Elaboration already folds constants
+// from the source, but transforms (dynamic clearing's label muxes, the
+// symbolic next-value equations) create residual structure — constant
+// selectors, identity masks, equal-armed muxes — that this pass removes.
+// Used before synthesis/emission and exposed as a standalone utility.
+//
+// Contract: simplify(e) is semantics-preserving — it evaluates to the
+// same value as e under every assignment (property-tested).
+#pragma once
+
+#include "sem/hir.hpp"
+
+namespace svlc::xform {
+
+/// Simplifies one expression tree (consumes and returns ownership).
+hir::ExprPtr simplify(hir::ExprPtr e);
+
+struct SimplifyStats {
+    size_t expressions_rewritten = 0;
+};
+
+/// Simplifies every expression in every process of the design in place.
+SimplifyStats simplify_design(hir::Design& design);
+
+} // namespace svlc::xform

@@ -1,0 +1,132 @@
+// The assume() pragma: "some code was refactored to convince the type
+// system that certain statements are true when the built-in analysis
+// cannot automatically infer the invariants" (§3.3). assume() states such
+// an invariant: the checker adds it to the constraint context; the
+// simulator checks it dynamically.
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svlc::test {
+namespace {
+
+// Two mode registers that are equal by system-level construction, but
+// whose equality the equation analysis cannot derive (each holds its own
+// value unless `sync` loads both from the same input — their histories,
+// not their update functions, make them equal).
+std::string twin_modes(bool with_assume) {
+    std::string src = policy_header() + R"(
+module m(input com {T} sync, input com {T} x, input com [7:0] {U} udata);
+  reg seq {T} mode_a;
+  reg seq {T} mode_b;
+  reg seq [7:0] {mode_to_lb(mode_a)} r;
+  always @(seq) begin
+    if (sync) mode_a <= x;
+  end
+  always @(seq) begin
+    if (sync) mode_b <= x;
+  end
+  always @(seq) begin
+)";
+    if (with_assume)
+        src += "    assume(mode_a == mode_b);\n";
+    src += R"(
+    if (sync && (mode_a == 1'b1) && (next(mode_a) == 1'b0))
+      r <= 8'h0;   // clear on the U -> T upgrade (hold obligation)
+    else if (!sync && (mode_b == 1'b1)) r <= udata;
+  end
+endmodule
+)";
+    return src;
+}
+
+TEST(Assume, InvariantEnablesAProofTheAnalysisCannotFind) {
+    // Without the invariant: the guard speaks about mode_b but the label
+    // depends on mode_a — unprovable.
+    Compiled c1;
+    auto without = check_source(twin_modes(false), c1);
+    ASSERT_TRUE(c1.design != nullptr);
+    EXPECT_FALSE(without.ok);
+
+    // With assume(mode_a == mode_b) the flow is provable.
+    Compiled c2;
+    auto with = check_source(twin_modes(true), c2);
+    EXPECT_TRUE(with.ok) << c2.errors();
+}
+
+TEST(Assume, SimulatorChecksTheStatedInvariant) {
+    auto c = compile(twin_modes(true));
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("sync", 1);
+    sim.set_input("x", 1);
+    sim.run(3);
+    EXPECT_TRUE(sim.violations().empty());
+    // Violate the invariant through a backdoor poke: the monitor fires.
+    sim.set_input("sync", 0);
+    sim.poke("mode_a", 0);
+    sim.step();
+    EXPECT_FALSE(sim.violations().empty());
+}
+
+TEST(Assume, ScopedToTheRestOfItsBlock) {
+    // An assume only justifies statements after it on the same path.
+    const char* src = R"(
+lattice { level T; level U; flow T -> U; }
+function lb(x:1) { 0 -> T; default -> U; }
+module m(input com {T} c, input com [7:0] {U} u);
+  reg seq {T} g;
+  reg seq [7:0] {lb(g)} early;
+  reg seq [7:0] {lb(g)} late;
+  always @(seq) begin
+    early <= u;          // BEFORE the assume: must fail
+    assume(g == 1'b1);
+    late <= u;           // AFTER: justified (g stays 1: no driver)
+  end
+endmodule
+)";
+    Compiled c;
+    auto result = check_source(src, c);
+    ASSERT_TRUE(c.design != nullptr);
+    EXPECT_FALSE(result.ok);
+    size_t early_failures = 0, late_failures = 0;
+    for (const auto& ob : result.obligations) {
+        if (ob.result.proven())
+            continue;
+        const std::string& name = c.design->net(ob.target).name;
+        if (name == "early")
+            ++early_failures;
+        if (name == "late")
+            ++late_failures;
+    }
+    EXPECT_EQ(early_failures, 1u);
+    EXPECT_EQ(late_failures, 0u) << c.errors();
+}
+
+TEST(Assume, DoesNotLeakAcrossSiblingBranches) {
+    const char* src = R"(
+lattice { level T; level U; flow T -> U; }
+function lb(x:1) { 0 -> T; default -> U; }
+module m(input com {T} c, input com [7:0] {U} u);
+  reg seq {T} g;
+  reg seq [7:0] {lb(g)} r;
+  always @(seq) begin
+    if (c) begin
+      assume(g == 1'b1);
+    end
+    else begin
+      r <= u;            // the assume above must not apply here
+    end
+  end
+endmodule
+)";
+    Compiled c;
+    auto result = check_source(src, c);
+    ASSERT_TRUE(c.design != nullptr);
+    EXPECT_FALSE(result.ok) << "assume in the then-branch must not justify "
+                               "the else-branch write";
+}
+
+} // namespace
+} // namespace svlc::test

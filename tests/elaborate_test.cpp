@@ -1,0 +1,424 @@
+// Elaboration + well-formedness: structural rules from paper §2.3 —
+// no combinational loops, no inferred latches, deterministic single
+// drivers, and label sanity.
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svlc::test {
+namespace {
+
+TEST(Elaborate, DetectsCombLoop) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  wire com {T} x;
+  wire com {T} y;
+  assign x = y | a;
+  assign y = x;
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::CombLoop)) << c.errors();
+}
+
+TEST(Elaborate, RegistersBreakCycles) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  wire com {T} x;
+  reg seq {T} r;
+  assign x = r | a;
+  always @(seq) begin
+    r <= x;
+  end
+endmodule
+)");
+    EXPECT_TRUE(c.ok()) << c.errors();
+}
+
+TEST(Elaborate, NextIntroducesOrderingEdge) {
+    // Reading next(r) in another process is fine (acyclic)...
+    auto c = compile(R"(
+module m(input com {T} a);
+  reg seq {T} r;
+  reg seq {T} s;
+  always @(seq) begin
+    r <= a;
+  end
+  always @(seq) begin
+    s <= next(r);
+  end
+endmodule
+)");
+    EXPECT_TRUE(c.ok()) << c.errors();
+}
+
+TEST(Elaborate, NextSelfCycleRejected) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  reg seq {T} r;
+  always @(seq) begin
+    r <= ~next(r);
+  end
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::CombLoop)) << c.errors();
+}
+
+TEST(Elaborate, NextCrossCycleRejected) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  reg seq {T} r;
+  reg seq {T} s;
+  always @(seq) begin
+    r <= next(s);
+  end
+  always @(seq) begin
+    s <= next(r);
+  end
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::CombLoop)) << c.errors();
+}
+
+TEST(Elaborate, InferredLatchRejected) {
+    auto c = compile(R"(
+module m(input com {T} sel, input com [7:0] {T} a);
+  wire com [7:0] {T} out;
+  always @(*) begin
+    if (sel) out = a;
+  end
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::InferredLatch)) << c.errors();
+}
+
+TEST(Elaborate, CompleteIfElseIsNotALatch) {
+    auto c = compile(R"(
+module m(input com {T} sel, input com [7:0] {T} a);
+  wire com [7:0] {T} out;
+  always @(*) begin
+    if (sel) out = a;
+    else out = 8'h0;
+  end
+endmodule
+)");
+    EXPECT_TRUE(c.ok()) << c.errors();
+}
+
+TEST(Elaborate, ReadBeforeWriteInCombRejected) {
+    auto c = compile(R"(
+module m(input com [7:0] {T} a);
+  wire com [7:0] {T} x;
+  wire com [7:0] {T} y;
+  always @(*) begin
+    y = x + 8'h1;
+    x = a;
+  end
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::InferredLatch)) << c.errors();
+}
+
+TEST(Elaborate, IntraProcessDefBeforeUseAccepted) {
+    auto c = compile(R"(
+module m(input com [7:0] {T} a);
+  wire com [7:0] {T} x;
+  wire com [7:0] {T} y;
+  always @(*) begin
+    x = a;
+    y = x + 8'h1;
+  end
+endmodule
+)");
+    EXPECT_TRUE(c.ok()) << c.errors();
+}
+
+TEST(Elaborate, MultipleDriversRejected) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  wire com {T} x;
+  assign x = a;
+  assign x = ~a;
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::MultipleDrivers)) << c.errors();
+}
+
+TEST(Elaborate, SeqNetInCombContextRejected) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  reg seq {T} r;
+  assign r = a;
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::SeqAssignToCom)) << c.errors();
+}
+
+TEST(Elaborate, ComNetInSeqContextRejected) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  wire com {T} w;
+  always @(seq) begin
+    w <= a;
+  end
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::ComAssignToSeq)) << c.errors();
+}
+
+TEST(Elaborate, UndrivenComReadRejected) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  wire com {T} w;
+  reg seq {T} r;
+  always @(seq) begin
+    r <= w;
+  end
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::InferredLatch)) << c.errors();
+}
+
+TEST(Elaborate, SelfReferentialLabelRejected) {
+    auto c = compile(policy_header() + R"(
+module m(input com {T} a);
+  reg seq {mode_to_lb(r)} r;
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::SelfReferentialLabel))
+        << c.errors();
+}
+
+TEST(Elaborate, LabelDependencyCycleRejected) {
+    auto c = compile(policy_header() + R"(
+module m(input com {T} a);
+  reg seq {mode_to_lb(s)} r;
+  reg seq {mode_to_lb(r)} s;
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::LabelDependencyCycle))
+        << c.errors();
+}
+
+TEST(Elaborate, LabelArgWidthMismatchRejected) {
+    auto c = compile(policy_header() + R"(
+module m(input com {T} a);
+  reg seq [3:0] {T} wide;
+  reg seq {mode_to_lb(wide)} r;
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::WidthMismatch)) << c.errors();
+}
+
+TEST(Elaborate, UnknownLevelAndFunctionRejected) {
+    auto c = compile(R"(
+lattice { level T; level U; flow T -> U; }
+module m(input com {X} a);
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::UnknownLevel)) << c.errors();
+
+    auto c2 = compile(R"(
+lattice { level T; level U; flow T -> U; }
+module m(input com {nosuch(a)} a);
+endmodule
+)");
+    EXPECT_FALSE(c2.ok());
+    EXPECT_TRUE(c2.diags->has_code(DiagCode::UnknownFunction)) << c2.errors();
+}
+
+TEST(Elaborate, ParameterOverrideChangesWidths) {
+    auto c = compile(R"(
+module child #(parameter W = 4)(input com [W-1:0] {T} a,
+                                output com [W-1:0] {T} y);
+  assign y = ~a;
+endmodule
+module top(input com [7:0] {T} x, output com [7:0] {T} z);
+  child #(.W(8)) u0(.a(x), .y(z));
+endmodule
+)", "top");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    hir::NetId port = c.design->find_net("u0.a");
+    ASSERT_NE(port, hir::kInvalidNet);
+    EXPECT_EQ(c.design->net(port).width, 8u);
+}
+
+TEST(Elaborate, UnconnectedInputPortRejected) {
+    auto c = compile(R"(
+module child(input com {T} a, input com {T} b, output com {T} y);
+  assign y = a;
+endmodule
+module top(input com {T} x, output com {T} z);
+  child u0(.a(x), .y(z));
+endmodule
+)", "top");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::PortMismatch)) << c.errors();
+}
+
+TEST(Elaborate, UnknownPortRejected) {
+    auto c = compile(R"(
+module child(input com {T} a, output com {T} y);
+  assign y = a;
+endmodule
+module top(input com {T} x, output com {T} z);
+  child u0(.a(x), .nope(z), .y(z));
+endmodule
+)", "top");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::PortMismatch)) << c.errors();
+}
+
+TEST(Elaborate, ArrayMustBeSequential) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  wire com [7:0] {T} arr[0:3];
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::ArrayMisuse)) << c.errors();
+}
+
+TEST(Elaborate, ArrayUsedWithoutIndexRejected) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  reg seq [7:0] {T} arr[0:3];
+  reg seq [7:0] {T} r;
+  always @(seq) begin
+    r <= arr;
+  end
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::ArrayMisuse)) << c.errors();
+}
+
+TEST(Elaborate, ConstantFoldingInWidths) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  localparam W = 4 * 2;
+  reg seq [W-1:0] {T} r;
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    EXPECT_EQ(c.design->net(c.design->find_net("r")).width, 8u);
+}
+
+TEST(Elaborate, CaseLowersToIfChain) {
+    auto c = compile(R"(
+module m(input com [1:0] {T} sel);
+  wire com [3:0] {T} out;
+  always @(*) begin
+    case (sel)
+      2'b00: out = 4'h1;
+      2'b01, 2'b10: out = 4'h2;
+      default: out = 4'h7;
+    endcase
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator s(*c.design);
+    s.set_input("sel", 0);
+    s.settle();
+    EXPECT_EQ(s.get("out").value(), 1u);
+    s.set_input("sel", 2);
+    s.settle();
+    EXPECT_EQ(s.get("out").value(), 2u);
+    s.set_input("sel", 3);
+    s.settle();
+    EXPECT_EQ(s.get("out").value(), 7u);
+}
+
+TEST(Elaborate, CaseWithoutDefaultIsLatch) {
+    auto c = compile(R"(
+module m(input com [1:0] {T} sel);
+  wire com [3:0] {T} out;
+  always @(*) begin
+    case (sel)
+      2'b00: out = 4'h1;
+      2'b01: out = 4'h2;
+    endcase
+  end
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::InferredLatch)) << c.errors();
+}
+
+TEST(Elaborate, DuplicateNetRejected) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  wire com {T} x;
+  wire com {T} x;
+endmodule
+)");
+    EXPECT_FALSE(c.ok());
+    EXPECT_TRUE(c.diags->has_code(DiagCode::DuplicateDefinition)) << c.errors();
+}
+
+TEST(Elaborate, DefaultPolicyIsTwoPointIntegrity) {
+    auto c = compile(R"(
+module m(input com {T} a);
+  reg seq {U} r;
+  always @(seq) begin
+    r <= a;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    EXPECT_EQ(c.design->policy.lattice().size(), 2u);
+}
+
+TEST(Elaborate, TopSelectionPrefersUninstantiated) {
+    auto c = compile(R"(
+module inner(input com {T} a, output com {T} y);
+  assign y = a;
+endmodule
+module outer(input com {T} x, output com {T} z);
+  inner u0(.a(x), .y(z));
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    EXPECT_EQ(c.design->top_name, "outer");
+}
+
+TEST(Elaborate, SimSchedulesHierarchyAcrossPortBoundaries) {
+    auto c = compile(R"(
+module stage(input com [7:0] {T} d, output com [7:0] {T} q_out);
+  reg seq [7:0] {T} q;
+  assign q_out = q;
+  always @(seq) begin
+    q <= d;
+  end
+endmodule
+module pipe2(input com [7:0] {T} in, output com [7:0] {T} out);
+  wire com [7:0] {T} mid;
+  stage s0(.d(in), .q_out(mid));
+  stage s1(.d(mid), .q_out(out));
+endmodule
+)", "pipe2");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator s(*c.design);
+    s.set_input("in", 0x42);
+    s.step();
+    s.step();
+    s.settle();
+    EXPECT_EQ(s.get("out").value(), 0x42u);
+}
+
+} // namespace
+} // namespace svlc::test

@@ -1,0 +1,257 @@
+// Cross-cutting integration tests: VCD tracing, the staged-label pipeline
+// family (the paper's "pipeline the labels" mode-switch design choice),
+// kernel context save/restore through memory (paper footnote 2), and
+// noninterference property sweeps over parameterized design families.
+#include "proc/assembler.hpp"
+#include "proc/testbench.hpp"
+#include "sim/simulator.hpp"
+#include "sim/vcd.hpp"
+#include "test_util.hpp"
+#include "verify/noninterference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace svlc::test {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VCD tracing
+// ---------------------------------------------------------------------------
+
+TEST(Vcd, EmitsHeaderValuesAndLabelCompanions) {
+    auto c = compile(policy_header() + R"(
+module m(input com {T} go);
+  reg seq {T} mode;
+  reg seq [7:0] {mode_to_lb(mode)} r;
+  always @(seq) begin
+    if (go) mode <= ~mode;
+  end
+  always @(seq) begin
+    if (go && (mode == 1'b1) && (next(mode) == 1'b0)) r <= 8'h0;
+    else r <= r + 8'h1;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    std::ostringstream os;
+    sim::VcdWriter vcd(*c.design, os,
+                       {c.design->find_net("mode"), c.design->find_net("r")});
+    vcd.begin();
+    sim.set_input("go", 0);
+    for (int i = 0; i < 3; ++i) {
+        sim.step();
+        vcd.sample(sim);
+    }
+    sim.set_input("go", 1);
+    sim.step();
+    vcd.sample(sim);
+    std::string out = os.str();
+    EXPECT_NE(out.find("$enddefinitions"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 1"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 8"), std::string::npos);
+    // Dependent label gets a companion signal.
+    EXPECT_NE(out.find("r__label"), std::string::npos);
+    // Time markers present.
+    EXPECT_NE(out.find("#1"), std::string::npos);
+    EXPECT_NE(out.find("#4"), std::string::npos);
+    // The label change to U (level id 1) must appear after the flip.
+    EXPECT_NE(out.find("b00000001 "), std::string::npos);
+}
+
+TEST(Vcd, OnlyChangesAreDumped) {
+    auto c = compile(R"(
+module m(input com {T} unused);
+  reg seq [3:0] {T} stuck = 4'h5;
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    std::ostringstream os;
+    sim::VcdWriter vcd(*c.design, os, {c.design->find_net("stuck")});
+    vcd.begin();
+    for (int i = 0; i < 5; ++i) {
+        sim.step();
+        vcd.sample(sim);
+    }
+    std::string out = os.str();
+    // The value line b0101 appears exactly once (first sample), despite
+    // five samples.
+    size_t first = out.find("b0101");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(out.find("b0101", first + 1), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Staged labels: "pipeline the labels along with the regular pipeline
+// registers" (§2.1, design choice 1)
+// ---------------------------------------------------------------------------
+
+std::string staged_pipeline(int stages, bool drop_one_mode_stage) {
+    std::ostringstream os;
+    os << policy_header();
+    os << "module staged(input com {T} m_in, input com [15:0] "
+          "{mode_to_lb(m_in)} d_in);\n";
+    for (int i = 0; i < stages; ++i) {
+        os << "  reg seq {T} m" << i << ";\n";
+        os << "  reg seq [15:0] {mode_to_lb(m" << i << ")} d" << i << ";\n";
+    }
+    os << "  always @(seq) begin\n";
+    os << "    m0 <= m_in;\n    d0 <= d_in;\n";
+    for (int i = 1; i < stages; ++i) {
+        // The broken variant forwards data one stage but not its mode
+        // bit, so the data's label no longer travels with it.
+        if (drop_one_mode_stage && i == stages / 2)
+            os << "    m" << i << " <= m" << i << ";\n";
+        else
+            os << "    m" << i << " <= m" << i - 1 << ";\n";
+        os << "    d" << i << " <= d" << i - 1 << ";\n";
+    }
+    os << "  end\nendmodule\n";
+    return os.str();
+}
+
+class StagedLabels : public ::testing::TestWithParam<int> {};
+
+TEST_P(StagedLabels, PipeliningTheLabelsTypechecks) {
+    Compiled c;
+    auto result = check_source(staged_pipeline(GetParam(), false), c);
+    EXPECT_TRUE(result.ok) << c.errors();
+}
+
+TEST_P(StagedLabels, DroppingAModeStageIsCaught) {
+    Compiled c;
+    auto result = check_source(staged_pipeline(GetParam(), true), c);
+    ASSERT_TRUE(c.design != nullptr);
+    EXPECT_FALSE(result.ok)
+        << "a data register whose label-stage is stalled must not accept "
+           "data from the moving stage";
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, StagedLabels, ::testing::Values(2, 3, 5, 8));
+
+TEST(StagedLabels, SimulationLabelsTravelWithData) {
+    auto c = compile(staged_pipeline(4, false));
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    const auto& lat = c.design->policy.lattice();
+    // Inject one untrusted beat, then trusted beats; the U label must
+    // march down the stages one per cycle.
+    sim.set_input("m_in", 1);
+    sim.set_input("d_in", 0xAAAA);
+    sim.step();
+    sim.set_input("m_in", 0);
+    sim.set_input("d_in", 0x1111);
+    for (int stage = 0; stage < 4; ++stage) {
+        // The untrusted beat is currently in `stage`; its label must have
+        // marched there with it, and every other stage must be trusted.
+        for (int other = 0; other < 4; ++other) {
+            hir::NetId d = c.design->find_net("d" + std::to_string(other));
+            EXPECT_EQ(lat.name(sim.current_label(d)),
+                      other == stage ? "U" : "T")
+                << "beat at stage " << stage << ", observed stage " << other;
+        }
+        hir::NetId d = c.design->find_net("d" + std::to_string(stage));
+        EXPECT_EQ(sim.get(d).value(), 0xAAAAu) << "stage " << stage;
+        sim.step();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel context save/restore through memory (paper footnote 2)
+// ---------------------------------------------------------------------------
+
+TEST(Processor, KernelContextSaveRestoreThroughMemory) {
+    // "A more realistic implementation ... might save the contents of the
+    // GPRs in the region of memory reserved for storing context. The
+    // corresponding SYSRET instruction would then restore this saved
+    // context" — the kernel stages the endorsed args through its own
+    // (trusted) memory bank and rebuilds user state before returning.
+    const char* kernel = R"(
+        sysret
+boot:   j boot
+        .org 0x200
+        # save the endorsed args into kernel context memory
+        addiu $9, $0, 0x80
+        sw $4, 0($9)
+        sw $5, 4($9)
+        # do kernel work that clobbers them
+        addiu $4, $0, 0
+        addiu $5, $0, 0
+        addu $8, $4, $5
+        # restore the context and return
+        lw $4, 0($9)
+        lw $5, 4($9)
+        sysret
+khalt:  j khalt
+)";
+    const char* user = R"(
+        addiu $4, $0, 0x21
+        addiu $5, $0, 0x14
+        syscall
+        addu $6, $4, $5      # args restored by the kernel: 0x35
+spin:   j spin
+)";
+    proc::TestVector vec;
+    vec.name = "context_save_restore";
+    vec.kernel_asm = kernel;
+    vec.user_asm = user;
+    std::string result =
+        proc::run_vector(*proc::labeled_cpu_design(), vec);
+    EXPECT_EQ(result, "");
+
+    // And the golden model agrees on the architectural intent.
+    proc::GoldenCpu g;
+    g.load_kernel(proc::assemble(kernel).words);
+    g.load_user(proc::assemble(user).words);
+    proc::golden_run_to_spin(g, 1000);
+    EXPECT_EQ(g.reg(6), 0x35u);
+    EXPECT_EQ(g.dmem_k(32), 0x21u); // saved context in kernel memory
+}
+
+// ---------------------------------------------------------------------------
+// Noninterference property sweep over a parameterized design family
+// ---------------------------------------------------------------------------
+
+std::string bank_design(int regs) {
+    std::ostringstream os;
+    os << policy_header();
+    os << "module bank(input com {T} go, input com [7:0] {U} din);\n";
+    os << "  reg seq {T} mode;\n";
+    os << "  always @(seq) begin\n    if (go) mode <= ~mode;\n  end\n";
+    for (int i = 0; i < regs; ++i) {
+        os << "  reg seq [7:0] {mode_to_lb(mode)} r" << i << ";\n";
+        os << "  always @(seq) begin\n";
+        os << "    if (go && (mode == 1'b1) && (next(mode) == 1'b0)) r" << i
+           << " <= 8'h0;\n";
+        os << "    else if (mode == 1'b1) r" << i << " <= din + 8'd" << i
+           << ";\n";
+        os << "  end\n";
+    }
+    os << "endmodule\n";
+    return os.str();
+}
+
+class TypedImpliesNI : public ::testing::TestWithParam<int> {};
+
+TEST_P(TypedImpliesNI, WellTypedBanksShowNoDivergence) {
+    Compiled c;
+    auto result = check_source(bank_design(GetParam()), c);
+    ASSERT_TRUE(result.ok) << c.errors();
+    verify::NIConfig cfg;
+    cfg.observer = *c.design->policy.lattice().find("T");
+    cfg.cycles = 96;
+    cfg.trials = 4;
+    cfg.seed = 1000 + static_cast<uint64_t>(GetParam());
+    auto ni = verify::test_noninterference(*c.design, cfg);
+    EXPECT_TRUE(ni.ok) << (ni.violations.empty()
+                               ? ""
+                               : ni.violations[0].description);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TypedImpliesNI, ::testing::Values(1, 3, 6));
+
+} // namespace
+} // namespace svlc::test

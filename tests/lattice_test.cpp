@@ -1,0 +1,145 @@
+#include "lattice/lattice.hpp"
+#include "lattice/label_function.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svlc {
+namespace {
+
+TEST(Lattice, TwoPointIntegrity) {
+    Lattice l = Lattice::two_point_integrity();
+    auto t = l.find("T"), u = l.find("U");
+    ASSERT_TRUE(t && u);
+    EXPECT_TRUE(l.flows(*t, *u));
+    EXPECT_FALSE(l.flows(*u, *t));
+    EXPECT_TRUE(l.flows(*t, *t));
+    EXPECT_EQ(l.join(*t, *u), *u);
+    EXPECT_EQ(l.meet(*t, *u), *t);
+    EXPECT_EQ(l.bottom(), *t);
+    EXPECT_EQ(l.top(), *u);
+}
+
+TEST(Lattice, TwoPointConfidentiality) {
+    Lattice l = Lattice::two_point_confidentiality();
+    auto p = l.find("P"), s = l.find("S");
+    ASSERT_TRUE(p && s);
+    EXPECT_TRUE(l.flows(*p, *s));
+    EXPECT_FALSE(l.flows(*s, *p));
+}
+
+TEST(Lattice, DiamondJoinsAndMeets) {
+    Lattice l = Lattice::diamond();
+    auto lo = *l.find("LOW"), m1 = *l.find("M1"), m2 = *l.find("M2"),
+         hi = *l.find("HIGH");
+    EXPECT_TRUE(l.flows(lo, m1));
+    EXPECT_TRUE(l.flows(lo, hi));
+    EXPECT_FALSE(l.flows(m1, m2));
+    EXPECT_FALSE(l.flows(m2, m1));
+    EXPECT_EQ(l.join(m1, m2), hi);
+    EXPECT_EQ(l.meet(m1, m2), lo);
+    EXPECT_EQ(l.join(lo, m1), m1);
+    EXPECT_EQ(l.bottom(), lo);
+    EXPECT_EQ(l.top(), hi);
+}
+
+TEST(Lattice, RejectsCycle) {
+    Lattice l;
+    auto a = l.add_level("A");
+    auto b = l.add_level("B");
+    l.add_flow(a, b);
+    l.add_flow(b, a);
+    std::string err;
+    EXPECT_FALSE(l.finalize(&err));
+    EXPECT_NE(err.find("cycle"), std::string::npos);
+}
+
+TEST(Lattice, RejectsMissingUpperBound) {
+    // Two incomparable maximal elements: no join.
+    Lattice l;
+    auto a = l.add_level("A");
+    auto b = l.add_level("B");
+    auto bot = l.add_level("BOT");
+    l.add_flow(bot, a);
+    l.add_flow(bot, b);
+    std::string err;
+    EXPECT_FALSE(l.finalize(&err));
+}
+
+TEST(Lattice, DuplicateLevelNamesCollapse) {
+    Lattice l;
+    auto a1 = l.add_level("A");
+    auto a2 = l.add_level("A");
+    EXPECT_EQ(a1, a2);
+    EXPECT_EQ(l.size(), 1u);
+}
+
+TEST(Lattice, TransitiveClosure) {
+    Lattice l;
+    auto a = l.add_level("A");
+    auto b = l.add_level("B");
+    auto c = l.add_level("C");
+    l.add_flow(a, b);
+    l.add_flow(b, c);
+    ASSERT_TRUE(l.finalize());
+    EXPECT_TRUE(l.flows(a, c));
+}
+
+TEST(LabelFunction, EvaluatesEntriesAndDefault) {
+    Lattice lat = Lattice::two_point_integrity();
+    LevelId t = *lat.find("T"), u = *lat.find("U");
+    LabelFunction fn("mode_to_lb", {1}, u);
+    fn.add_entry({0}, t);
+    EXPECT_EQ(fn.evaluate({0}), t);
+    EXPECT_EQ(fn.evaluate({1}), u);
+}
+
+TEST(LabelFunction, MasksArgumentsToDeclaredWidth) {
+    Lattice lat = Lattice::two_point_integrity();
+    LevelId t = *lat.find("T"), u = *lat.find("U");
+    LabelFunction fn("f", {1}, u);
+    fn.add_entry({0}, t);
+    // 2 & mask(1) == 0 -> matches the entry for 0.
+    EXPECT_EQ(fn.evaluate({2}), t);
+}
+
+TEST(LabelFunction, MultiArgument) {
+    Lattice lat = Lattice::diamond();
+    LevelId lo = *lat.find("LOW"), hi = *lat.find("HIGH");
+    LabelFunction fn("pair", {1, 2}, hi);
+    fn.add_entry({0, 0}, lo);
+    EXPECT_EQ(fn.evaluate({0, 0}), lo);
+    EXPECT_EQ(fn.evaluate({1, 0}), hi);
+    EXPECT_EQ(fn.evaluate({0, 3}), hi);
+}
+
+TEST(LabelFunction, ConstantDetection) {
+    Lattice lat = Lattice::two_point_integrity();
+    LevelId t = *lat.find("T"), u = *lat.find("U");
+    LabelFunction varying("v", {1}, u);
+    varying.add_entry({0}, t);
+    LevelId out;
+    EXPECT_FALSE(varying.is_constant(lat, &out));
+
+    LabelFunction constant("c", {1}, u);
+    constant.add_entry({0}, u);
+    ASSERT_TRUE(constant.is_constant(lat, &out));
+    EXPECT_EQ(out, u);
+
+    // Entries cover the full 1-bit domain with T even though default is U.
+    LabelFunction covered("k", {1}, u);
+    covered.add_entry({0}, t);
+    covered.add_entry({1}, t);
+    ASSERT_TRUE(covered.is_constant(lat, &out));
+    EXPECT_EQ(out, t);
+}
+
+TEST(SecurityPolicy, FunctionLookup) {
+    SecurityPolicy p(Lattice::two_point_integrity());
+    LevelId u = *p.lattice().find("U");
+    p.add_function(LabelFunction("f", {1}, u));
+    EXPECT_TRUE(p.find_function("f").has_value());
+    EXPECT_FALSE(p.find_function("g").has_value());
+}
+
+} // namespace
+} // namespace svlc

@@ -1,0 +1,259 @@
+#include "ast/printer.hpp"
+#include "parse/parser.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svlc {
+namespace {
+
+ast::CompilationUnit parse_ok(const std::string& src) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    auto unit = Parser::parse_text(src, sm, diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.render();
+    return unit;
+}
+
+size_t parse_error_count(const std::string& src) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    (void)Parser::parse_text(src, sm, diags);
+    return diags.error_count();
+}
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    uint32_t id = sm.add_buffer("t", "a <= 16'hBEEF && b || !c -> =="
+                                      " next endorse");
+    Lexer lexer(sm.buffer_text(id), id, diags);
+    auto toks = lexer.lex_all();
+    ASSERT_FALSE(diags.has_errors());
+    std::vector<TokKind> kinds;
+    for (const auto& t : toks)
+        kinds.push_back(t.kind);
+    std::vector<TokKind> expected = {
+        TokKind::Ident,    TokKind::LtEq,    TokKind::Number,
+        TokKind::AmpAmp,   TokKind::Ident,   TokKind::PipePipe,
+        TokKind::Bang,     TokKind::Ident,   TokKind::Arrow,
+        TokKind::EqEq,     TokKind::KwNext,  TokKind::KwEndorse,
+        TokKind::Eof,
+    };
+    EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, SkipsCommentsAndTracksLines) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    uint32_t id = sm.add_buffer("t", "// line comment\n/* block\n */ foo");
+    Lexer lexer(sm.buffer_text(id), id, diags);
+    auto toks = lexer.lex_all();
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0].text, "foo");
+    EXPECT_EQ(toks[0].loc.line, 3u);
+}
+
+TEST(Lexer, ReportsUnterminatedComment) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    uint32_t id = sm.add_buffer("t", "/* never closed");
+    Lexer lexer(sm.buffer_text(id), id, diags);
+    (void)lexer.lex_all();
+    EXPECT_TRUE(diags.has_code(DiagCode::UnterminatedComment));
+}
+
+TEST(Parser, ModuleWithPortsAndNets) {
+    auto unit = parse_ok(R"(
+module m(input com {T} rst, output com [15:0] {U} out);
+  wire com [15:0] {U} tmp;
+  reg seq [15:0] {T} state = 16'h1;
+  assign out = tmp;
+  assign tmp = 16'habcd;
+endmodule
+)");
+    ASSERT_EQ(unit.modules.size(), 1u);
+    const auto& m = unit.modules[0];
+    EXPECT_EQ(m.name, "m");
+    ASSERT_EQ(m.port_order.size(), 2u);
+    EXPECT_EQ(m.port_order[0], "rst");
+    ASSERT_EQ(m.nets.size(), 4u);
+    EXPECT_EQ(m.nets[2].name, "tmp");
+    EXPECT_EQ(m.nets[3].kind, ast::NetKind::Seq);
+    EXPECT_TRUE(m.nets[3].init != nullptr);
+    EXPECT_EQ(m.assigns.size(), 2u);
+}
+
+TEST(Parser, LatticeAndFunctionDecls) {
+    auto unit = parse_ok(R"(
+lattice { level T; level U; flow T -> U; }
+function mode_to_lb(x:1) { 0 -> T; default -> U; }
+module m(input com {T} a);
+endmodule
+)");
+    ASSERT_EQ(unit.lattices.size(), 1u);
+    EXPECT_EQ(unit.lattices[0].levels.size(), 2u);
+    ASSERT_EQ(unit.lattices[0].flows.size(), 1u);
+    EXPECT_EQ(unit.lattices[0].flows[0].first, "T");
+    ASSERT_EQ(unit.functions.size(), 1u);
+    EXPECT_EQ(unit.functions[0].name, "mode_to_lb");
+    ASSERT_EQ(unit.functions[0].arg_widths.size(), 1u);
+    EXPECT_EQ(unit.functions[0].arg_widths[0], 1u);
+    EXPECT_EQ(unit.functions[0].entries.size(), 2u);
+}
+
+TEST(Parser, AlwaysSeqWithNextAndDowngrade) {
+    auto unit = parse_ok(R"(
+module m(input com {T} go);
+  reg seq {T} mode;
+  reg seq [7:0] {mode_to_lb(mode)} r;
+  always @(seq) begin
+    if (go && (next(mode) == 1'b0))
+      r <= endorse(r, T);
+  end
+endmodule
+)");
+    const auto& m = unit.modules[0];
+    ASSERT_EQ(m.always_blocks.size(), 1u);
+    EXPECT_EQ(m.always_blocks[0].kind, ast::AlwaysKind::Seq);
+}
+
+TEST(Parser, PosedgeClkSynonym) {
+    auto unit = parse_ok(R"(
+module m(input com {T} d);
+  reg seq {T} q;
+  always @(posedge clk) begin
+    q <= d;
+  end
+endmodule
+)");
+    EXPECT_EQ(unit.modules[0].always_blocks[0].kind, ast::AlwaysKind::Seq);
+}
+
+TEST(Parser, CaseStatement) {
+    auto unit = parse_ok(R"(
+module m(input com [1:0] {T} sel);
+  wire com [3:0] {T} out;
+  always @(*) begin
+    case (sel)
+      2'b00: out = 4'h1;
+      2'b01, 2'b10: out = 4'h2;
+      default: out = 4'h0;
+    endcase
+  end
+endmodule
+)");
+    ASSERT_EQ(unit.modules[0].always_blocks.size(), 1u);
+    const auto& body = *unit.modules[0].always_blocks[0].body;
+    ASSERT_EQ(body.kind, ast::StmtKind::Block);
+    const auto& blk = static_cast<const ast::BlockStmt&>(body);
+    ASSERT_EQ(blk.stmts.size(), 1u);
+    EXPECT_EQ(blk.stmts[0]->kind, ast::StmtKind::Case);
+}
+
+TEST(Parser, InstanceWithParamsAndConnections) {
+    auto unit = parse_ok(R"(
+module child #(parameter W = 8)(input com [7:0] {T} a, output com [7:0] {T} y);
+  assign y = a;
+endmodule
+module top(input com [7:0] {T} x, output com [7:0] {T} z);
+  child #(.W(16)) u0(.a(x), .y(z));
+endmodule
+)");
+    ASSERT_EQ(unit.modules.size(), 2u);
+    const auto& top = unit.modules[1];
+    ASSERT_EQ(top.instances.size(), 1u);
+    EXPECT_EQ(top.instances[0].module_name, "child");
+    EXPECT_EQ(top.instances[0].instance_name, "u0");
+    ASSERT_EQ(top.instances[0].params.size(), 1u);
+    ASSERT_EQ(top.instances[0].connections.size(), 2u);
+}
+
+TEST(Parser, OperatorPrecedence) {
+    auto unit = parse_ok(R"(
+module m(input com [7:0] {T} a, input com [7:0] {T} b);
+  wire com {T} x;
+  assign x = a + b * 8'h2 == 8'h6 && b < a;
+endmodule
+)");
+    // a + (b*2) == 6, then (that) && (b < a)
+    const auto& e = *unit.modules[0].assigns[0].rhs;
+    ASSERT_EQ(e.kind, ast::ExprKind::Binary);
+    EXPECT_EQ(static_cast<const ast::BinaryExpr&>(e).op, ast::BinaryOp::LogAnd);
+}
+
+TEST(Parser, JoinLabels) {
+    auto unit = parse_ok(R"(
+module m(input com {T join mode_to_lb(mode)} a);
+  reg seq {T} mode;
+endmodule
+)");
+    const auto& label = *unit.modules[0].nets[0].label;
+    EXPECT_EQ(label.kind, ast::LabelKind::Join);
+}
+
+TEST(Parser, ErrorRecoveryProducesMultipleDiagnostics) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    (void)Parser::parse_text(R"(
+module m(input com {T} a);
+  assign = 5;
+  wire com {T} w;
+  assign w = ;
+endmodule
+)", sm, diags);
+    EXPECT_GE(diags.error_count(), 2u);
+}
+
+TEST(Parser, RejectsGarbageAtTopLevel) {
+    EXPECT_GE(parse_error_count("garbage tokens here"), 1u);
+}
+
+TEST(Printer, RoundTripsThroughParser) {
+    auto unit = parse_ok(R"(
+lattice { level T; level U; flow T -> U; }
+function f(x:1) { 0 -> T; default -> U; }
+module m(input com {T} rst, output com [7:0] {U} out);
+  reg seq [7:0] {f(mode)} r = 8'h0;
+  reg seq {T} mode;
+  assign out = r;
+  always @(seq) begin
+    if (rst) r <= 8'b0;
+    else r <= endorse(out, T);
+  end
+  always @(seq) begin
+    mode <= ~mode;
+  end
+endmodule
+)");
+    std::string printed = ast::print(unit);
+    SourceManager sm2;
+    DiagnosticEngine diags2(&sm2);
+    auto unit2 = Parser::parse_text(printed, sm2, diags2);
+    EXPECT_FALSE(diags2.has_errors())
+        << diags2.render() << "\nprinted:\n" << printed;
+    EXPECT_EQ(unit2.modules.size(), 1u);
+    // Printing the reparsed tree must be a fixpoint.
+    EXPECT_EQ(ast::print(unit2), printed);
+}
+
+TEST(Printer, LabelErasureProducesPlainVerilogDecls) {
+    auto unit = parse_ok(R"(
+module m(input com {T} a);
+  reg seq [3:0] {T} r;
+  always @(seq) begin
+    r <= {3'b0, a};
+  end
+endmodule
+)");
+    ast::PrintOptions opts;
+    opts.erase_labels = true;
+    std::string printed = ast::print(unit, opts);
+    EXPECT_EQ(printed.find("{T}"), std::string::npos);
+    EXPECT_EQ(printed.find(" seq "), std::string::npos);
+    EXPECT_NE(printed.find("posedge clk"), std::string::npos);
+}
+
+} // namespace
+} // namespace svlc

@@ -1,0 +1,200 @@
+// Assembler and golden-model unit tests.
+#include "proc/assembler.hpp"
+#include "proc/golden.hpp"
+#include "proc/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svlc::proc {
+namespace {
+
+TEST(Assembler, EncodesRType) {
+    auto r = assemble("addu $3, $1, $2\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.words.size(), 1u);
+    Instr i{r.words[0]};
+    EXPECT_EQ(i.op(), 0u);
+    EXPECT_EQ(i.funct(), 0x21u);
+    EXPECT_EQ(i.rd(), 3u);
+    EXPECT_EQ(i.rs(), 1u);
+    EXPECT_EQ(i.rt(), 2u);
+}
+
+TEST(Assembler, EncodesImmediatesAndNegatives) {
+    auto r = assemble("addiu $5, $4, -1\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    Instr i{r.words[0]};
+    EXPECT_EQ(i.op(), 0x09u);
+    EXPECT_EQ(i.imm16(), 0xFFFFu);
+    EXPECT_EQ(i.imm_sext(), 0xFFFFFFFFu);
+}
+
+TEST(Assembler, MemOperandsAndLabels) {
+    auto r = assemble(R"(
+start:  lw $2, 8($1)
+        sw $2, -4($3)
+        beq $2, $0, start
+        j start
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.words.size(), 4u);
+    Instr lw{r.words[0]};
+    EXPECT_EQ(lw.op(), 0x23u);
+    EXPECT_EQ(lw.imm16(), 8u);
+    Instr beq{r.words[2]};
+    // Branch offset: start(0) - (8 + 4) = -12 bytes = -3 words.
+    EXPECT_EQ(static_cast<int16_t>(beq.imm16()), -3);
+    Instr j{r.words[3]};
+    EXPECT_EQ(j.target26(), 0u);
+}
+
+TEST(Assembler, OrgDirectiveAndGaps) {
+    auto r = assemble(R"(
+        addiu $1, $0, 1
+        .org 0x20
+k:      addiu $2, $0, 2
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.words.size(), 9u);
+    EXPECT_EQ(r.words[1], kNop); // gap filled with NOPs
+    EXPECT_EQ(r.labels.at("k"), 0x20u);
+}
+
+TEST(Assembler, ReportsErrors) {
+    EXPECT_FALSE(assemble("bogus $1, $2\n").ok);
+    EXPECT_FALSE(assemble("addu $1, $2\n").ok);       // arity
+    EXPECT_FALSE(assemble("addu $1, $2, $99\n").ok);  // bad register
+    EXPECT_FALSE(assemble("j nowhere\n").ok);         // unknown label
+    EXPECT_FALSE(assemble("dup: nop\ndup: nop\n").ok);
+}
+
+TEST(Assembler, SyscallSysret) {
+    auto r = assemble("syscall\nsysret\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.words[0], enc_syscall());
+    EXPECT_EQ(r.words[1], enc_sysret());
+}
+
+TEST(Disassembler, RoundTripMnemonics) {
+    EXPECT_EQ(disassemble(kNop), "nop");
+    auto r = assemble("addu $3, $1, $2\n");
+    EXPECT_EQ(disassemble(r.words[0]), "addu $3, $1, $2");
+    EXPECT_EQ(disassemble(enc_syscall()), "syscall");
+    EXPECT_EQ(disassemble(enc_sysret()), "sysret");
+}
+
+TEST(Golden, BasicAluAndMemory) {
+    GoldenCpu cpu;
+    auto prog = assemble(R"(
+        addiu $1, $0, 10
+        addiu $2, $0, 32
+        addu $3, $1, $2
+        sw $3, 0($2)
+        lw $4, 0($2)
+spin:   j spin
+)");
+    ASSERT_TRUE(prog.ok) << prog.error;
+    cpu.load_program(prog.words);
+    cpu.run(5);
+    EXPECT_EQ(cpu.reg(3), 42u);
+    EXPECT_EQ(cpu.reg(4), 42u);
+    EXPECT_EQ(cpu.dmem_k(8), 42u); // kernel mode uses the kernel bank
+    EXPECT_EQ(cpu.dmem_u(8), 0u);
+}
+
+TEST(Golden, RegisterZeroIsHardwired) {
+    GoldenCpu cpu;
+    auto prog = assemble("addiu $0, $0, 99\naddu $1, $0, $0\nspin: j spin\n");
+    ASSERT_TRUE(prog.ok);
+    cpu.load_program(prog.words);
+    cpu.run(2);
+    EXPECT_EQ(cpu.reg(0), 0u);
+    EXPECT_EQ(cpu.reg(1), 0u);
+}
+
+TEST(Golden, SyscallSemantics) {
+    GoldenCpu cpu;
+    auto kernel = assemble(R"(
+        sysret
+boot:   j boot
+        .org 0x200
+handler: addu $8, $4, $5
+        sysret
+k:      j k
+)");
+    auto user = assemble(R"(
+        addiu $4, $0, 3
+        addiu $5, $0, 4
+        addiu $9, $0, 9
+        syscall
+        addiu $10, $0, 1
+spin:   j spin
+)");
+    ASSERT_TRUE(kernel.ok && user.ok);
+    cpu.load_kernel(kernel.words);
+    cpu.load_user(user.words);
+    // sysret -> user; 3 addius; syscall.
+    cpu.run(5);
+    EXPECT_EQ(cpu.mode(), 0u);
+    EXPECT_EQ(cpu.pc(), ArchParams::kKernelEntry);
+    EXPECT_EQ(cpu.epc(), 16u); // pc of syscall (12) + 4
+    EXPECT_EQ(cpu.reg(4), 3u); // endorsed args preserved
+    EXPECT_EQ(cpu.reg(5), 4u);
+    EXPECT_EQ(cpu.reg(9), 0u); // everything else cleared
+    // handler: addu; sysret.
+    cpu.run(2);
+    EXPECT_EQ(cpu.mode(), 1u);
+    EXPECT_EQ(cpu.pc(), 16u);
+    EXPECT_EQ(cpu.reg(8), 7u);
+    cpu.run(1);
+    EXPECT_EQ(cpu.reg(10), 1u);
+}
+
+TEST(Golden, SyscallInKernelIsNop) {
+    GoldenCpu cpu;
+    auto prog = assemble("syscall\naddiu $1, $0, 5\nspin: j spin\n");
+    ASSERT_TRUE(prog.ok);
+    cpu.load_program(prog.words);
+    cpu.run(2);
+    EXPECT_EQ(cpu.mode(), 0u);
+    EXPECT_EQ(cpu.reg(1), 5u);
+}
+
+TEST(Golden, MmioRing) {
+    GoldenCpu cpu;
+    auto kernel = assemble("sysret\nboot: j boot\n");
+    auto user = assemble(R"(
+        addiu $1, $0, 0x3F8
+        lw $2, 0($1)
+        addiu $3, $0, 0x3FC
+        sw $2, 0($3)
+spin:   j spin
+)");
+    ASSERT_TRUE(kernel.ok && user.ok);
+    cpu.load_kernel(kernel.words);
+    cpu.load_user(user.words);
+    cpu.set_net_in(0x1234);
+    cpu.run(5);
+    EXPECT_EQ(cpu.net_out(), 0x1234u);
+}
+
+TEST(Golden, SignedComparisons) {
+    GoldenCpu cpu;
+    auto prog = assemble(R"(
+        addiu $1, $0, -5
+        addiu $2, $0, 3
+        slt $3, $1, $2
+        sltu $4, $1, $2
+        slti $5, $1, 0
+spin:   j spin
+)");
+    ASSERT_TRUE(prog.ok);
+    cpu.load_program(prog.words);
+    cpu.run(5);
+    EXPECT_EQ(cpu.reg(3), 1u); // signed: -5 < 3
+    EXPECT_EQ(cpu.reg(4), 0u); // unsigned: huge > 3
+    EXPECT_EQ(cpu.reg(5), 1u);
+}
+
+} // namespace
+} // namespace svlc::proc

@@ -1,0 +1,236 @@
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svlc::test {
+namespace {
+
+TEST(Simulator, CounterCountsAndResets) {
+    auto c = compile(R"(
+module counter(input com {T} rst, output com [7:0] {T} out);
+  reg seq [7:0] {T} count = 8'h0;
+  assign out = count;
+  always @(seq) begin
+    if (rst) count <= 8'b0;
+    else count <= count + 8'b1;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("rst", 0);
+    sim.run(5);
+    EXPECT_EQ(sim.get("count").value(), 5u);
+    sim.set_input("rst", 1);
+    sim.step();
+    EXPECT_EQ(sim.get("count").value(), 0u);
+}
+
+TEST(Simulator, InitializersApply) {
+    auto c = compile(R"(
+module m(input com {T} unused);
+  reg seq [15:0] {T} r = 16'hBEEF;
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    EXPECT_EQ(sim.get("r").value(), 0xBEEFu);
+    sim.step();
+    EXPECT_EQ(sim.get("r").value(), 0xBEEFu); // holds without a driver
+}
+
+TEST(Simulator, CombChainEvaluatesInDependencyOrder) {
+    auto c = compile(R"(
+module m(input com [7:0] {T} a);
+  wire com [7:0] {T} b;
+  wire com [7:0] {T} d;
+  // declared in reverse dependency order on purpose
+  assign d = b + 8'h1;
+  assign b = a + 8'h1;
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("a", 5);
+    sim.settle();
+    EXPECT_EQ(sim.get("d").value(), 7u);
+}
+
+TEST(Simulator, NonBlockingSwapWorks) {
+    auto c = compile(R"(
+module m(input com {T} unused);
+  reg seq [7:0] {T} x = 8'h1;
+  reg seq [7:0] {T} y = 8'h2;
+  always @(seq) begin
+    x <= y;
+    y <= x;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.step();
+    EXPECT_EQ(sim.get("x").value(), 2u);
+    EXPECT_EQ(sim.get("y").value(), 1u);
+    sim.step();
+    EXPECT_EQ(sim.get("x").value(), 1u);
+    EXPECT_EQ(sim.get("y").value(), 2u);
+}
+
+TEST(Simulator, LastNonBlockingWriteWins) {
+    auto c = compile(R"(
+module m(input com {T} c);
+  reg seq [7:0] {T} r;
+  always @(seq) begin
+    r <= 8'h11;
+    if (c) r <= 8'h22;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("c", 1);
+    sim.step();
+    EXPECT_EQ(sim.get("r").value(), 0x22u);
+    sim.set_input("c", 0);
+    sim.step();
+    EXPECT_EQ(sim.get("r").value(), 0x11u);
+}
+
+TEST(Simulator, ArraysReadWrite) {
+    auto c = compile(R"(
+module m(input com [1:0] {T} waddr, input com [7:0] {T} wdata,
+         input com {T} we, input com [1:0] {T} raddr,
+         output com [7:0] {T} rdata);
+  reg seq [7:0] {T} mem[0:3];
+  assign rdata = mem[raddr];
+  always @(seq) begin
+    if (we) mem[waddr] <= wdata;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("we", 1);
+    sim.set_input("waddr", 2);
+    sim.set_input("wdata", 0xAB);
+    sim.step();
+    EXPECT_EQ(sim.get_elem("mem", 2).value(), 0xABu);
+    sim.set_input("we", 0);
+    sim.set_input("raddr", 2);
+    sim.settle();
+    EXPECT_EQ(sim.get("rdata").value(), 0xABu);
+}
+
+TEST(Simulator, NextOperatorSeesPendingValue) {
+    auto c = compile(R"(
+module m(input com {T} go);
+  reg seq {T} mode;
+  reg seq [7:0] {T} snapshot;
+  always @(seq) begin
+    if (go) mode <= ~mode;
+  end
+  always @(seq) begin
+    if (next(mode) == 1'b1) snapshot <= 8'hFF;
+    else snapshot <= 8'h00;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("go", 1);
+    sim.step(); // mode 0 -> 1; snapshot sees next(mode)=1
+    EXPECT_EQ(sim.get("mode").value(), 1u);
+    EXPECT_EQ(sim.get("snapshot").value(), 0xFFu);
+    sim.step(); // mode 1 -> 0
+    EXPECT_EQ(sim.get("mode").value(), 0u);
+    EXPECT_EQ(sim.get("snapshot").value(), 0x00u);
+}
+
+TEST(Simulator, AssumeViolationsRecorded) {
+    auto c = compile(R"(
+module m(input com [7:0] {T} x);
+  reg seq [7:0] {T} r;
+  always @(seq) begin
+    assume(x < 8'h10);
+    r <= x;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("x", 5);
+    sim.step();
+    EXPECT_TRUE(sim.violations().empty());
+    sim.set_input("x", 0x20);
+    sim.step();
+    ASSERT_EQ(sim.violations().size(), 1u);
+    EXPECT_EQ(sim.violations()[0].cycle, 1u);
+}
+
+TEST(Simulator, DependentLabelTracking) {
+    auto c = compile(policy_header() + R"(
+module m(input com {T} go);
+  reg seq {T} mode;
+  reg seq [7:0] {mode_to_lb(mode)} r;
+  always @(seq) begin
+    if (go && (mode == 1'b1) && (next(mode) == 1'b0)) r <= 8'h0;
+  end
+  always @(seq) begin
+    if (go) mode <= ~mode;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    const auto& lat = c.design->policy.lattice();
+    hir::NetId r = c.design->find_net("r");
+    EXPECT_EQ(lat.name(sim.current_label(r)), "T"); // mode = 0
+    sim.set_input("go", 1);
+    sim.step(); // mode -> 1
+    EXPECT_EQ(lat.name(sim.current_label(r)), "U");
+    sim.set_input("go", 0);
+    sim.step();
+    EXPECT_EQ(lat.name(sim.current_label(r)), "U");
+}
+
+TEST(Simulator, PartSelectWrite) {
+    auto c = compile(R"(
+module m(input com [3:0] {T} lo);
+  reg seq [7:0] {T} r = 8'hA0;
+  always @(seq) begin
+    r[3:0] <= lo;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("lo", 0x5);
+    sim.step();
+    EXPECT_EQ(sim.get("r").value(), 0xA5u);
+}
+
+TEST(Simulator, HierarchicalDesignSimulates) {
+    auto c = compile(R"(
+module adder(input com [7:0] {T} a, input com [7:0] {T} b,
+             output com [7:0] {T} sum);
+  assign sum = a + b;
+endmodule
+module top(input com [7:0] {T} x, output com [7:0] {T} y);
+  wire com [7:0] {T} mid;
+  adder u0(.a(x), .b(8'h3), .sum(mid));
+  adder u1(.a(mid), .b(8'h4), .sum(y));
+endmodule
+)", "top");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("x", 10);
+    sim.settle();
+    EXPECT_EQ(sim.get("y").value(), 17u);
+    // Hierarchical names are visible.
+    EXPECT_EQ(sim.get("u0.sum").value(), 13u);
+}
+
+} // namespace
+} // namespace svlc::test

@@ -1,0 +1,139 @@
+// Synthesis model: sanity and monotonicity properties, plus the
+// enable-FF mapping option that drives part of the paper's §3.3 overhead.
+#include "synth/synthesize.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svlc::test {
+namespace {
+
+const char* kCounter8 = R"(
+module counter(input com {T} rst, output com [7:0] {T} out);
+  reg seq [7:0] {T} count;
+  assign out = count;
+  always @(seq) begin
+    if (rst) count <= 8'b0;
+    else count <= count + 8'b1;
+  end
+endmodule
+)";
+
+TEST(Synth, CounterMapsToAdderAndFFs) {
+    auto c = compile(kCounter8);
+    ASSERT_TRUE(c.ok()) << c.errors();
+    auto report = synth::synthesize(*c.design);
+    EXPECT_GT(report.area_um2, 0.0);
+    EXPECT_EQ(report.ff_bits, 8u);
+    EXPECT_GE(report.cells.by_name.at("FA"), 8u);
+    EXPECT_GT(report.critical_path_ns, 0.0);
+    EXPECT_TRUE(report.meets_target) << report.summary();
+}
+
+TEST(Synth, EnableFFReducesArea) {
+    const char* src = R"(
+module m(input com {T} en, input com [31:0] {T} d);
+  reg seq [31:0] {T} r;
+  always @(seq) begin
+    if (en) r <= d;
+  end
+endmodule
+)";
+    auto c = compile(src);
+    ASSERT_TRUE(c.ok()) << c.errors();
+    synth::SynthOptions with_en, without_en;
+    with_en.use_enable_ff = true;
+    without_en.use_enable_ff = false;
+    auto a = synth::synthesize(*c.design, with_en);
+    auto b = synth::synthesize(*c.design, without_en);
+    EXPECT_EQ(a.enable_ff_bits, 32u);
+    EXPECT_EQ(b.enable_ff_bits, 0u);
+    EXPECT_LT(a.area_um2, b.area_um2)
+        << "DFFE mapping must be cheaper than DFF + mux";
+}
+
+TEST(Synth, WiderDatapathCostsMore) {
+    auto narrow = compile(R"(
+module m(input com [7:0] {T} a, input com [7:0] {T} b,
+         output com [7:0] {T} y);
+  assign y = a + b;
+endmodule
+)");
+    auto wide = compile(R"(
+module m(input com [31:0] {T} a, input com [31:0] {T} b,
+         output com [31:0] {T} y);
+  assign y = a + b;
+endmodule
+)");
+    ASSERT_TRUE(narrow.ok() && wide.ok());
+    auto rn = synth::synthesize(*narrow.design);
+    auto rw = synth::synthesize(*wide.design);
+    EXPECT_GT(rw.area_um2, rn.area_um2);
+    EXPECT_GE(rw.critical_path_ns, rn.critical_path_ns);
+}
+
+TEST(Synth, RegisterFileDominatedByFFsAndMuxes) {
+    const char* src = R"(
+module rf(input com [4:0] {T} waddr, input com [31:0] {T} wdata,
+          input com {T} we, input com [4:0] {T} raddr,
+          output com [31:0] {T} rdata);
+  reg seq [31:0] {T} mem[0:31];
+  assign rdata = mem[raddr];
+  always @(seq) begin
+    if (we) mem[waddr] <= wdata;
+  end
+endmodule
+)";
+    auto c = compile(src);
+    ASSERT_TRUE(c.ok()) << c.errors();
+    auto report = synth::synthesize(*c.design);
+    EXPECT_EQ(report.ff_bits, 32u * 32u);
+    // Read port: 31 muxes per bit.
+    EXPECT_GE(report.cells.by_name.at("MUX2"), 31u * 32u);
+    EXPECT_GT(report.area_um2, 4000.0);
+}
+
+TEST(Synth, DeeperLogicLengthensCriticalPath) {
+    auto shallow = compile(R"(
+module m(input com [31:0] {T} a, output com [31:0] {T} y);
+  assign y = a + 32'h1;
+endmodule
+)");
+    auto deep = compile(R"(
+module m(input com [31:0] {T} a, output com [31:0] {T} y);
+  wire com [31:0] {T} t1;
+  wire com [31:0] {T} t2;
+  wire com [31:0] {T} t3;
+  assign t1 = a + 32'h1;
+  assign t2 = t1 + 32'h2;
+  assign t3 = t2 + 32'h3;
+  assign y = t3 + 32'h4;
+endmodule
+)");
+    ASSERT_TRUE(shallow.ok() && deep.ok());
+    auto rs = synth::synthesize(*shallow.design);
+    auto rd = synth::synthesize(*deep.design);
+    EXPECT_GT(rd.critical_path_ns, rs.critical_path_ns);
+}
+
+TEST(Synth, ConstantsAndWiringAreFree) {
+    auto c = compile(R"(
+module m(input com [15:0] {T} a, output com [7:0] {T} y);
+  assign y = a[11:4];
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    auto report = synth::synthesize(*c.design);
+    EXPECT_EQ(report.area_um2, 0.0);
+}
+
+TEST(Synth, SummaryMentionsTargetStatus) {
+    auto c = compile(kCounter8);
+    ASSERT_TRUE(c.ok());
+    auto report = synth::synthesize(*c.design);
+    EXPECT_NE(report.summary().find("area"), std::string::npos);
+    EXPECT_NE(report.summary().find("met"), std::string::npos);
+}
+
+} // namespace
+} // namespace svlc::test

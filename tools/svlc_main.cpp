@@ -1,0 +1,438 @@
+// svlc — the SecVerilogLC command-line driver.
+//
+//   svlc check <file.svlc> [--top M] [--classic] [--no-hold]
+//   svlc emit-verilog <file.svlc> [--top M] [--compat]
+//   svlc sim <file.svlc> [--top M] --cycles N [--set in=val]...
+//            [--vcd out.vcd] [--watch net]...
+//   svlc synth <file.svlc> [--top M] [--no-enable-ff] [--clock NS]
+//   svlc taint <file.svlc> [--top M] --cycles N [--set in=val]...
+//   svlc dump-cpu <labeled|baseline|vulnerable|quad> [outfile]
+#include "check/typecheck.hpp"
+#include "codegen/verilog.hpp"
+#include "parse/parser.hpp"
+#include "proc/assembler.hpp"
+#include "proc/isa.hpp"
+#include "proc/sources.hpp"
+#include "sem/elaborate.hpp"
+#include "sem/wellformed.hpp"
+#include "sim/simulator.hpp"
+#include "sim/vcd.hpp"
+#include "synth/synthesize.hpp"
+#include "verify/taint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace svlc;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  svlc check <file.svlc> [--top M] [--classic] [--no-hold]\n"
+                 "  svlc emit-verilog <file.svlc> [--top M] [--compat]\n"
+                 "  svlc sim <file.svlc> [--top M] --cycles N [--set in=val]...\n"
+                 "           [--vcd out.vcd] [--watch net]...\n"
+                 "  svlc synth <file.svlc> [--top M] [--no-enable-ff] [--clock NS]\n"
+                 "  svlc taint <file.svlc> [--top M] --cycles N [--set in=val]...\n"
+                 "  svlc dump-cpu <labeled|baseline|vulnerable|quad> [outfile]\n"
+                 "  svlc asm <file.s> [outfile.hex]\n"
+                 "  svlc disasm <file.hex>\n");
+    return 2;
+}
+
+struct Args {
+    std::string command;
+    std::string file;
+    std::string top;
+    bool classic = false;
+    bool no_hold = false;
+    bool compat = false;
+    bool no_enable_ff = false;
+    double clock = 2.0;
+    uint64_t cycles = 100;
+    std::vector<std::pair<std::string, uint64_t>> sets;
+    std::vector<std::string> watches;
+    std::string vcd_path;
+    std::string extra; // dump-cpu variant / outfile
+    std::string outfile;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+    if (argc < 2)
+        return false;
+    args.command = argv[1];
+    int i = 2;
+    if (args.command == "dump-cpu") {
+        if (i < argc)
+            args.extra = argv[i++];
+        if (i < argc)
+            args.outfile = argv[i++];
+        return !args.extra.empty();
+    }
+    if (args.command == "asm" || args.command == "disasm") {
+        if (i < argc)
+            args.file = argv[i++];
+        if (i < argc)
+            args.outfile = argv[i++];
+        return !args.file.empty();
+    }
+    if (i >= argc)
+        return false;
+    args.file = argv[i++];
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--top") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.top = v;
+        } else if (arg == "--classic") {
+            args.classic = true;
+        } else if (arg == "--no-hold") {
+            args.no_hold = true;
+        } else if (arg == "--compat") {
+            args.compat = true;
+        } else if (arg == "--no-enable-ff") {
+            args.no_enable_ff = true;
+        } else if (arg == "--clock") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.clock = std::atof(v);
+        } else if (arg == "--cycles") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.cycles = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--set") {
+            const char* v = next();
+            if (!v)
+                return false;
+            std::string s = v;
+            size_t eq = s.find('=');
+            if (eq == std::string::npos)
+                return false;
+            args.sets.emplace_back(s.substr(0, eq),
+                                   std::strtoull(s.c_str() + eq + 1, nullptr,
+                                                 0));
+        } else if (arg == "--watch") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.watches.push_back(v);
+        } else if (arg == "--vcd") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.vcd_path = v;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+std::unique_ptr<hir::Design> load(const Args& args, SourceManager& sm,
+                                  DiagnosticEngine& diags) {
+    std::ifstream in(args.file);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", args.file.c_str());
+        return nullptr;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    ast::CompilationUnit unit =
+        Parser::parse_text(buf.str(), sm, diags, args.file);
+    if (diags.has_errors())
+        return nullptr;
+    sem::ElaborateOptions opts;
+    opts.top = args.top;
+    auto design = sem::elaborate(unit, diags, opts);
+    if (!design)
+        return nullptr;
+    if (!sem::analyze_wellformed(*design, diags))
+        return nullptr;
+    return design;
+}
+
+int cmd_check(const Args& args) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    auto design = load(args, sm, diags);
+    if (!design) {
+        std::fputs(diags.render().c_str(), stderr);
+        return 1;
+    }
+    check::CheckOptions opts;
+    if (args.classic)
+        opts.mode = check::CheckerMode::ClassicSecVerilog;
+    opts.hold_obligations = !args.no_hold;
+    auto result = check::check_design(*design, diags, opts);
+    std::fputs(diags.render().c_str(), stderr);
+    std::printf("%s: %zu obligations, %zu failed, %zu downgrade site(s)\n",
+                result.ok ? "SECURE" : "REJECTED",
+                result.obligations.size(), result.failed,
+                result.downgrade_count);
+    if (result.downgrade_count) {
+        for (const auto& d : design->downgrades)
+            std::printf("  downgrade at %s: %s(%s)\n",
+                        sm.describe(d.loc).c_str(),
+                        d.kind == hir::DowngradeKind::Endorse ? "endorse"
+                                                              : "declassify",
+                        d.description.c_str());
+    }
+    return result.ok ? 0 : 1;
+}
+
+int cmd_emit(const Args& args) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    auto design = load(args, sm, diags);
+    if (!design) {
+        std::fputs(diags.render().c_str(), stderr);
+        return 1;
+    }
+    codegen::EmitOptions opts;
+    if (args.compat)
+        opts.dialect = codegen::Dialect::SvlcCompat;
+    std::string verilog = codegen::emit_verilog(*design, diags, opts);
+    if (diags.has_errors()) {
+        std::fputs(diags.render().c_str(), stderr);
+        return 1;
+    }
+    std::fputs(verilog.c_str(), stdout);
+    return 0;
+}
+
+int cmd_sim(const Args& args) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    auto design = load(args, sm, diags);
+    if (!design) {
+        std::fputs(diags.render().c_str(), stderr);
+        return 1;
+    }
+    sim::Simulator simulator(*design);
+    for (const auto& [name, value] : args.sets)
+        simulator.set_input(name, value);
+
+    std::ofstream vcd_file;
+    std::unique_ptr<sim::VcdWriter> vcd;
+    std::vector<hir::NetId> watch_ids;
+    for (const auto& w : args.watches) {
+        hir::NetId id = design->find_net(w);
+        if (id == hir::kInvalidNet) {
+            std::fprintf(stderr, "no net named '%s'\n", w.c_str());
+            return 1;
+        }
+        watch_ids.push_back(id);
+    }
+    if (!args.vcd_path.empty()) {
+        vcd_file.open(args.vcd_path);
+        vcd = std::make_unique<sim::VcdWriter>(*design, vcd_file, watch_ids);
+        vcd->begin();
+    }
+    for (uint64_t i = 0; i < args.cycles; ++i) {
+        simulator.step();
+        if (vcd)
+            vcd->sample(simulator);
+    }
+    simulator.settle();
+    std::printf("ran %llu cycles\n",
+                static_cast<unsigned long long>(args.cycles));
+    const auto& nets = watch_ids.empty() ? [&] {
+        std::vector<hir::NetId> all;
+        for (const auto& net : design->nets)
+            if (net.array_size == 0)
+                all.push_back(net.id);
+        return all;
+    }() : watch_ids;
+    for (hir::NetId id : nets) {
+        const auto& net = design->net(id);
+        std::printf("  %-24s = 0x%llx", net.name.c_str(),
+                    static_cast<unsigned long long>(
+                        simulator.get(id).value()));
+        if (!net.label.is_static())
+            std::printf("  {%s}",
+                        design->policy.lattice()
+                            .name(simulator.current_label(id))
+                            .c_str());
+        std::printf("\n");
+    }
+    for (const auto& v : simulator.violations())
+        std::printf("assume violated at cycle %llu\n",
+                    static_cast<unsigned long long>(v.cycle));
+    return 0;
+}
+
+int cmd_synth(const Args& args) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    auto design = load(args, sm, diags);
+    if (!design) {
+        std::fputs(diags.render().c_str(), stderr);
+        return 1;
+    }
+    synth::SynthOptions opts;
+    opts.use_enable_ff = !args.no_enable_ff;
+    opts.target_clock_ns = args.clock;
+    auto report = synth::synthesize(*design, opts);
+    std::printf("%s\n", report.summary().c_str());
+    for (const auto& [name, count] : report.cells.by_name)
+        std::printf("  %-8s %8llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count));
+    if (report.sram_bits)
+        std::printf("  SRAM     %8llu bits (%.0f um^2)\n",
+                    static_cast<unsigned long long>(report.sram_bits),
+                    report.sram_area_um2);
+    return report.meets_target ? 0 : 1;
+}
+
+int cmd_taint(const Args& args) {
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    auto design = load(args, sm, diags);
+    if (!design) {
+        std::fputs(diags.render().c_str(), stderr);
+        return 1;
+    }
+    sim::Simulator simulator(*design);
+    verify::TaintTracker tracker(*design);
+    for (const auto& [name, value] : args.sets)
+        simulator.set_input(name, value);
+    for (uint64_t i = 0; i < args.cycles; ++i)
+        tracker.step(simulator);
+    std::printf("ran %llu cycles with GLIFT-style tracking: %zu "
+                "violation(s)\n",
+                static_cast<unsigned long long>(args.cycles),
+                tracker.violations().size());
+    for (const auto& v : tracker.violations()) {
+        std::printf("  cycle %llu: net '%s' tainted %s but labeled %s\n",
+                    static_cast<unsigned long long>(v.cycle),
+                    design->net(v.net).name.c_str(),
+                    design->policy.lattice().name(v.taint).c_str(),
+                    design->policy.lattice().name(v.declared).c_str());
+        if (tracker.violations().size() > 10)
+            break;
+    }
+    return tracker.violations().empty() ? 0 : 1;
+}
+
+int cmd_dump_cpu(const Args& args) {
+    std::string text;
+    std::string suggested;
+    if (args.extra == "labeled") {
+        text = proc::labeled_cpu_source();
+        suggested = "cpu_labeled.svlc";
+    } else if (args.extra == "baseline") {
+        text = proc::baseline_cpu_source();
+        suggested = "cpu_baseline.svlc";
+    } else if (args.extra == "vulnerable") {
+        text = proc::vulnerable_cpu_source();
+        suggested = "cpu_vulnerable.svlc";
+    } else if (args.extra == "quad") {
+        text = proc::quad_core_source();
+        suggested = "quad.svlc";
+    } else {
+        std::fprintf(stderr, "unknown variant '%s'\n", args.extra.c_str());
+        return 2;
+    }
+    if (args.outfile.empty()) {
+        std::fputs(text.c_str(), stdout);
+    } else {
+        std::ofstream out(args.outfile);
+        out << text;
+        std::printf("wrote %s (%zu bytes)\n", args.outfile.c_str(),
+                    text.size());
+    }
+    (void)suggested;
+    return 0;
+}
+
+int cmd_asm(const Args& args) {
+    std::ifstream in(args.file);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", args.file.c_str());
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto result = proc::assemble(buf.str());
+    if (!result.ok) {
+        std::fprintf(stderr, "%s\n", result.error.c_str());
+        return 1;
+    }
+    std::ostream* out = &std::cout;
+    std::ofstream file;
+    if (!args.outfile.empty()) {
+        file.open(args.outfile);
+        out = &file;
+    }
+    char line[16];
+    for (uint32_t w : result.words) {
+        std::snprintf(line, sizeof line, "%08x\n", w);
+        *out << line;
+    }
+    std::fprintf(stderr, "%zu words", result.words.size());
+    for (const auto& [name, addr] : result.labels)
+        std::fprintf(stderr, "  %s=0x%x", name.c_str(), addr);
+    std::fprintf(stderr, "\n");
+    return 0;
+}
+
+int cmd_disasm(const Args& args) {
+    std::ifstream in(args.file);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", args.file.c_str());
+        return 1;
+    }
+    std::string line;
+    uint32_t addr = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        uint32_t word = static_cast<uint32_t>(
+            std::strtoul(line.c_str(), nullptr, 16));
+        std::printf("%08x:  %08x  %s\n", addr, word,
+                    proc::disassemble(word).c_str());
+        addr += 4;
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    if (!parse_args(argc, argv, args))
+        return usage();
+    if (args.command == "check")
+        return cmd_check(args);
+    if (args.command == "emit-verilog")
+        return cmd_emit(args);
+    if (args.command == "sim")
+        return cmd_sim(args);
+    if (args.command == "synth")
+        return cmd_synth(args);
+    if (args.command == "taint")
+        return cmd_taint(args);
+    if (args.command == "dump-cpu")
+        return cmd_dump_cpu(args);
+    if (args.command == "asm")
+        return cmd_asm(args);
+    if (args.command == "disasm")
+        return cmd_disasm(args);
+    return usage();
+}
