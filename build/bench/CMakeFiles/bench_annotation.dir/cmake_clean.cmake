@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_annotation.dir/bench_annotation.cpp.o"
+  "CMakeFiles/bench_annotation.dir/bench_annotation.cpp.o.d"
+  "bench_annotation"
+  "bench_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clearing.dir/bench_clearing.cpp.o"
+  "CMakeFiles/bench_clearing.dir/bench_clearing.cpp.o.d"
+  "bench_clearing"
+  "bench_clearing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clearing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

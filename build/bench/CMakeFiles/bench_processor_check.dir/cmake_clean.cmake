@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_processor_check.dir/bench_processor_check.cpp.o"
+  "CMakeFiles/bench_processor_check.dir/bench_processor_check.cpp.o.d"
+  "bench_processor_check"
+  "bench_processor_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_processor_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_testvectors.dir/bench_testvectors.cpp.o"
+  "CMakeFiles/bench_testvectors.dir/bench_testvectors.cpp.o.d"
+  "bench_testvectors"
+  "bench_testvectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_testvectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

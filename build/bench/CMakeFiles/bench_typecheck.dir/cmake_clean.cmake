@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_typecheck.dir/bench_typecheck.cpp.o"
+  "CMakeFiles/bench_typecheck.dir/bench_typecheck.cpp.o.d"
+  "bench_typecheck"
+  "bench_typecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_typecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

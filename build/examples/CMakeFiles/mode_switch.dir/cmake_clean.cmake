@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_switch.dir/mode_switch.cpp.o"
+  "CMakeFiles/mode_switch.dir/mode_switch.cpp.o.d"
+  "mode_switch"
+  "mode_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_zoo.dir/policy_zoo.cpp.o"
+  "CMakeFiles/policy_zoo.dir/policy_zoo.cpp.o.d"
+  "policy_zoo"
+  "policy_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/check/CMakeFiles/svlc_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/svlc_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/svlc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/svlc_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/svlc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/svlc_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/svlc_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/svlc_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svlc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/svlc_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/svlc_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/svlc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/svlc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

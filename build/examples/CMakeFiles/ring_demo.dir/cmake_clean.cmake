@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_demo.dir/ring_demo.cpp.o"
+  "CMakeFiles/ring_demo.dir/ring_demo.cpp.o.d"
+  "ring_demo"
+  "ring_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lattice")
+subdirs("ast")
+subdirs("parse")
+subdirs("sem")
+subdirs("solver")
+subdirs("check")
+subdirs("xform")
+subdirs("sim")
+subdirs("verify")
+subdirs("codegen")
+subdirs("synth")
+subdirs("proc")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_ast.dir/ast.cpp.o"
+  "CMakeFiles/svlc_ast.dir/ast.cpp.o.d"
+  "CMakeFiles/svlc_ast.dir/printer.cpp.o"
+  "CMakeFiles/svlc_ast.dir/printer.cpp.o.d"
+  "libsvlc_ast.a"
+  "libsvlc_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_check.dir/typecheck.cpp.o"
+  "CMakeFiles/svlc_check.dir/typecheck.cpp.o.d"
+  "libsvlc_check.a"
+  "libsvlc_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/verilog.cpp" "src/codegen/CMakeFiles/svlc_codegen.dir/verilog.cpp.o" "gcc" "src/codegen/CMakeFiles/svlc_codegen.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sem/CMakeFiles/svlc_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/svlc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/svlc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/svlc_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

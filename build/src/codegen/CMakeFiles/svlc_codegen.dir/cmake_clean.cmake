@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_codegen.dir/verilog.cpp.o"
+  "CMakeFiles/svlc_codegen.dir/verilog.cpp.o.d"
+  "libsvlc_codegen.a"
+  "libsvlc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_lattice.dir/label_function.cpp.o"
+  "CMakeFiles/svlc_lattice.dir/label_function.cpp.o.d"
+  "CMakeFiles/svlc_lattice.dir/lattice.cpp.o"
+  "CMakeFiles/svlc_lattice.dir/lattice.cpp.o.d"
+  "libsvlc_lattice.a"
+  "libsvlc_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsvlc_lattice.a"
+)

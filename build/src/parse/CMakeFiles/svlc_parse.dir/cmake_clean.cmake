@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_parse.dir/lexer.cpp.o"
+  "CMakeFiles/svlc_parse.dir/lexer.cpp.o.d"
+  "CMakeFiles/svlc_parse.dir/parser.cpp.o"
+  "CMakeFiles/svlc_parse.dir/parser.cpp.o.d"
+  "libsvlc_parse.a"
+  "libsvlc_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

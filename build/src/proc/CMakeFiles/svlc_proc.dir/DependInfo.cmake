@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/assembler.cpp" "src/proc/CMakeFiles/svlc_proc.dir/assembler.cpp.o" "gcc" "src/proc/CMakeFiles/svlc_proc.dir/assembler.cpp.o.d"
+  "/root/repo/src/proc/golden.cpp" "src/proc/CMakeFiles/svlc_proc.dir/golden.cpp.o" "gcc" "src/proc/CMakeFiles/svlc_proc.dir/golden.cpp.o.d"
+  "/root/repo/src/proc/isa.cpp" "src/proc/CMakeFiles/svlc_proc.dir/isa.cpp.o" "gcc" "src/proc/CMakeFiles/svlc_proc.dir/isa.cpp.o.d"
+  "/root/repo/src/proc/sources.cpp" "src/proc/CMakeFiles/svlc_proc.dir/sources.cpp.o" "gcc" "src/proc/CMakeFiles/svlc_proc.dir/sources.cpp.o.d"
+  "/root/repo/src/proc/testbench.cpp" "src/proc/CMakeFiles/svlc_proc.dir/testbench.cpp.o" "gcc" "src/proc/CMakeFiles/svlc_proc.dir/testbench.cpp.o.d"
+  "/root/repo/src/proc/testvectors.cpp" "src/proc/CMakeFiles/svlc_proc.dir/testvectors.cpp.o" "gcc" "src/proc/CMakeFiles/svlc_proc.dir/testvectors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parse/CMakeFiles/svlc_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/svlc_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svlc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/svlc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/svlc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/svlc_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

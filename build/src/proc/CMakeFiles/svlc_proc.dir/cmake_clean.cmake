@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_proc.dir/assembler.cpp.o"
+  "CMakeFiles/svlc_proc.dir/assembler.cpp.o.d"
+  "CMakeFiles/svlc_proc.dir/golden.cpp.o"
+  "CMakeFiles/svlc_proc.dir/golden.cpp.o.d"
+  "CMakeFiles/svlc_proc.dir/isa.cpp.o"
+  "CMakeFiles/svlc_proc.dir/isa.cpp.o.d"
+  "CMakeFiles/svlc_proc.dir/sources.cpp.o"
+  "CMakeFiles/svlc_proc.dir/sources.cpp.o.d"
+  "CMakeFiles/svlc_proc.dir/testbench.cpp.o"
+  "CMakeFiles/svlc_proc.dir/testbench.cpp.o.d"
+  "CMakeFiles/svlc_proc.dir/testvectors.cpp.o"
+  "CMakeFiles/svlc_proc.dir/testvectors.cpp.o.d"
+  "libsvlc_proc.a"
+  "libsvlc_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

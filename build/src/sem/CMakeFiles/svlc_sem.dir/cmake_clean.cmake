@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_sem.dir/elaborate.cpp.o"
+  "CMakeFiles/svlc_sem.dir/elaborate.cpp.o.d"
+  "CMakeFiles/svlc_sem.dir/hir.cpp.o"
+  "CMakeFiles/svlc_sem.dir/hir.cpp.o.d"
+  "CMakeFiles/svlc_sem.dir/updates.cpp.o"
+  "CMakeFiles/svlc_sem.dir/updates.cpp.o.d"
+  "CMakeFiles/svlc_sem.dir/wellformed.cpp.o"
+  "CMakeFiles/svlc_sem.dir/wellformed.cpp.o.d"
+  "libsvlc_sem.a"
+  "libsvlc_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

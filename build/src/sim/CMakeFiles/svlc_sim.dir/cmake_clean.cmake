@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/svlc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/svlc_sim.dir/vcd.cpp.o"
+  "CMakeFiles/svlc_sim.dir/vcd.cpp.o.d"
+  "libsvlc_sim.a"
+  "libsvlc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

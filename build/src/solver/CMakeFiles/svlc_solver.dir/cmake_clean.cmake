@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_solver.dir/entail.cpp.o"
+  "CMakeFiles/svlc_solver.dir/entail.cpp.o.d"
+  "CMakeFiles/svlc_solver.dir/eval3.cpp.o"
+  "CMakeFiles/svlc_solver.dir/eval3.cpp.o.d"
+  "CMakeFiles/svlc_solver.dir/label.cpp.o"
+  "CMakeFiles/svlc_solver.dir/label.cpp.o.d"
+  "libsvlc_solver.a"
+  "libsvlc_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_support.dir/bitvec.cpp.o"
+  "CMakeFiles/svlc_support.dir/bitvec.cpp.o.d"
+  "CMakeFiles/svlc_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/svlc_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/svlc_support.dir/source_manager.cpp.o"
+  "CMakeFiles/svlc_support.dir/source_manager.cpp.o.d"
+  "libsvlc_support.a"
+  "libsvlc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

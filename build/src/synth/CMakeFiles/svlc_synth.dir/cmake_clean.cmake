@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_synth.dir/synthesize.cpp.o"
+  "CMakeFiles/svlc_synth.dir/synthesize.cpp.o.d"
+  "libsvlc_synth.a"
+  "libsvlc_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

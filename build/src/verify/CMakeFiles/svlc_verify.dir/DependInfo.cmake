@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/noninterference.cpp" "src/verify/CMakeFiles/svlc_verify.dir/noninterference.cpp.o" "gcc" "src/verify/CMakeFiles/svlc_verify.dir/noninterference.cpp.o.d"
+  "/root/repo/src/verify/taint.cpp" "src/verify/CMakeFiles/svlc_verify.dir/taint.cpp.o" "gcc" "src/verify/CMakeFiles/svlc_verify.dir/taint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/svlc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/svlc_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/svlc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/svlc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/svlc_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

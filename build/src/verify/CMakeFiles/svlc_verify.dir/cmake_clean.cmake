@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_verify.dir/noninterference.cpp.o"
+  "CMakeFiles/svlc_verify.dir/noninterference.cpp.o.d"
+  "CMakeFiles/svlc_verify.dir/taint.cpp.o"
+  "CMakeFiles/svlc_verify.dir/taint.cpp.o.d"
+  "libsvlc_verify.a"
+  "libsvlc_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

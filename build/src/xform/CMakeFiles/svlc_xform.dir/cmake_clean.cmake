@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_xform.dir/clearing.cpp.o"
+  "CMakeFiles/svlc_xform.dir/clearing.cpp.o.d"
+  "CMakeFiles/svlc_xform.dir/simplify.cpp.o"
+  "CMakeFiles/svlc_xform.dir/simplify.cpp.o.d"
+  "libsvlc_xform.a"
+  "libsvlc_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assume_test.cpp" "tests/CMakeFiles/svlc_tests.dir/assume_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/assume_test.cpp.o.d"
+  "/root/repo/tests/bitvec_test.cpp" "tests/CMakeFiles/svlc_tests.dir/bitvec_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/bitvec_test.cpp.o.d"
+  "/root/repo/tests/check_figures_test.cpp" "tests/CMakeFiles/svlc_tests.dir/check_figures_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/check_figures_test.cpp.o.d"
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/svlc_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/elaborate_test.cpp" "tests/CMakeFiles/svlc_tests.dir/elaborate_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/elaborate_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/svlc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lattice_test.cpp" "tests/CMakeFiles/svlc_tests.dir/lattice_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/lattice_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/svlc_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/proc_isa_test.cpp" "tests/CMakeFiles/svlc_tests.dir/proc_isa_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/proc_isa_test.cpp.o.d"
+  "/root/repo/tests/proc_pipeline_test.cpp" "tests/CMakeFiles/svlc_tests.dir/proc_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/proc_pipeline_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/svlc_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/svlc_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/svlc_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/simplify_test.cpp" "tests/CMakeFiles/svlc_tests.dir/simplify_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/simplify_test.cpp.o.d"
+  "/root/repo/tests/solver_test.cpp" "tests/CMakeFiles/svlc_tests.dir/solver_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/solver_test.cpp.o.d"
+  "/root/repo/tests/soundness_test.cpp" "tests/CMakeFiles/svlc_tests.dir/soundness_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/soundness_test.cpp.o.d"
+  "/root/repo/tests/synth_test.cpp" "tests/CMakeFiles/svlc_tests.dir/synth_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/synth_test.cpp.o.d"
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/svlc_tests.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/svlc_tests.dir/verify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/check/CMakeFiles/svlc_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/svlc_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/svlc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/svlc_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/svlc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/svlc_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/svlc_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/svlc_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/svlc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sem/CMakeFiles/svlc_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/svlc_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/svlc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/svlc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

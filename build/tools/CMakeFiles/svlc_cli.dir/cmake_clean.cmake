@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svlc_cli.dir/svlc_main.cpp.o"
+  "CMakeFiles/svlc_cli.dir/svlc_main.cpp.o.d"
+  "svlc"
+  "svlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svlc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
