@@ -107,6 +107,8 @@ SolverLabel Checker::label_of(const Expr& e) {
 void Checker::discharge(ObligationKind kind, SourceLoc loc, NetId target,
                         const SolverLabel& lhs, const SolverLabel& rhs,
                         const std::vector<const Expr*>& facts) {
+    if (result_.timed_out)
+        return;
     Obligation ob;
     ob.kind = kind;
     ob.loc = loc;
@@ -114,6 +116,12 @@ void Checker::discharge(ObligationKind kind, SourceLoc loc, NetId target,
     ob.lhs_label = lhs.str(design_);
     ob.rhs_label = rhs.str(design_);
     ob.result = engine_.check_flow(lhs, rhs, facts);
+    if (ob.result.timed_out) {
+        // Deadline expired mid-check: drop this obligation (no diagnostic
+        // — it was not decided) and stop discharging further ones.
+        result_.timed_out = true;
+        return;
+    }
     if (!ob.result.proven()) {
         ++result_.failed;
         const std::string& tname = design_.net(target).name;
@@ -232,7 +240,8 @@ void Checker::check_assign(const Stmt& s, Context& ctx, ProcessKind kind) {
 }
 
 void Checker::check_hold_obligations() {
-    if (opts_.mode != CheckerMode::SecVerilogLC || !opts_.hold_obligations)
+    if (opts_.mode != CheckerMode::SecVerilogLC || !opts_.hold_obligations ||
+        result_.timed_out)
         return;
     for (const Net& net : design_.nets) {
         if (net.kind != NetKind::Seq || net.label.is_static())
@@ -301,11 +310,14 @@ void Checker::check_hold_obligations() {
 
 CheckResult Checker::run() {
     for (const Process& proc : design_.processes) {
+        if (result_.timed_out)
+            break;
         Context ctx;
         walk(*proc.body, ctx, proc.kind);
     }
     check_hold_obligations();
-    result_.ok = result_.failed == 0 && !diags_.has_errors();
+    result_.ok =
+        result_.failed == 0 && !diags_.has_errors() && !result_.timed_out;
     result_.downgrade_count = design_.downgrades.size();
     result_.solver_stats = engine_.stats();
     return std::move(result_);

@@ -61,6 +61,10 @@ struct CheckResult {
     size_t failed = 0;
     size_t downgrade_count = 0;
     solver::EntailmentEngine::Stats solver_stats;
+    /// The solver's deadline (CheckOptions::solver.deadline) expired;
+    /// remaining obligations were skipped and `ok` is false. The batch
+    /// driver reports such a job as timed out rather than rejected.
+    bool timed_out = false;
 };
 
 /// Type-checks a well-formed design. Flow violations are reported through

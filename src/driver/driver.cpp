@@ -1,0 +1,229 @@
+#include "driver/driver.hpp"
+
+#include "parse/parser.hpp"
+#include "proc/sources.hpp"
+#include "sem/elaborate.hpp"
+#include "sem/wellformed.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_manager.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#ifdef __linux__
+#include <ctime>
+#endif
+
+namespace svlc::driver {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/// Per-thread CPU time in milliseconds (wall-clock fallback elsewhere).
+double thread_cpu_ms() {
+#ifdef __linux__
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<double>(ts.tv_sec) * 1e3 +
+               static_cast<double>(ts.tv_nsec) * 1e-6;
+#endif
+    return std::chrono::duration<double, std::milli>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+const char* job_status_name(JobStatus s) {
+    switch (s) {
+    case JobStatus::Secure: return "secure";
+    case JobStatus::Rejected: return "rejected";
+    case JobStatus::Error: return "error";
+    case JobStatus::Timeout: return "timeout";
+    }
+    return "unknown";
+}
+
+VerificationDriver::VerificationDriver(DriverOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_capacity) {}
+
+JobResult VerificationDriver::run_job_once(const JobSpec& spec) {
+    JobResult res;
+    res.name = spec.name;
+
+    Clock::time_point start = Clock::now();
+    double cpu_start = thread_cpu_ms();
+    uint64_t timeout_ms = spec.timeout_ms ? spec.timeout_ms : opts_.timeout_ms;
+    Clock::time_point deadline{};
+    if (timeout_ms)
+        deadline = start + std::chrono::milliseconds(timeout_ms);
+    auto finish = [&](JobStatus status) {
+        res.status = status;
+        res.wall_ms = ms_since(start);
+        res.cpu_ms = thread_cpu_ms() - cpu_start;
+        return res;
+    };
+
+    std::string text = spec.source;
+    if (text.empty() && !spec.path.empty()) {
+        std::ifstream in(spec.path);
+        if (!in) {
+            res.diagnostics = "cannot open '" + spec.path + "'";
+            return finish(JobStatus::Error);
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    ast::CompilationUnit unit =
+        Parser::parse_text(text, sm, diags, spec.name);
+    std::unique_ptr<hir::Design> design;
+    if (!diags.has_errors()) {
+        sem::ElaborateOptions eopts;
+        eopts.top = spec.top;
+        design = sem::elaborate(unit, diags, eopts);
+    }
+    if (design && !diags.has_errors())
+        sem::analyze_wellformed(*design, diags);
+    if (!design || diags.has_errors()) {
+        res.diagnostics = diags.render();
+        return finish(JobStatus::Rejected);
+    }
+
+    check::CheckOptions copts = opts_.check;
+    copts.solver.deadline = deadline;
+    copts.solver.cache = opts_.use_cache ? &cache_ : nullptr;
+    check::CheckResult cres = check::check_design(*design, diags, copts);
+
+    res.obligations = cres.obligations.size();
+    res.failed = cres.failed;
+    res.downgrades = cres.downgrade_count;
+    res.solver = cres.solver_stats;
+    res.diagnostics = diags.render();
+    if (cres.timed_out)
+        return finish(JobStatus::Timeout);
+    return finish(cres.ok ? JobStatus::Secure : JobStatus::Rejected);
+}
+
+JobResult VerificationDriver::run_job(const JobSpec& spec) {
+    // Retry once on transient failure (allocation failure, filesystem
+    // race, ...). Deterministic verdicts — parse errors, flow violations,
+    // deadline expiry — are not retried.
+    for (int attempt = 1;; ++attempt) {
+        try {
+            JobResult res = run_job_once(spec);
+            res.attempts = attempt;
+            return res;
+        } catch (const std::exception& e) {
+            if (attempt >= 2) {
+                JobResult res;
+                res.name = spec.name;
+                res.status = JobStatus::Error;
+                res.attempts = attempt;
+                res.diagnostics =
+                    std::string("job failed after retry: ") + e.what();
+                return res;
+            }
+        } catch (...) {
+            if (attempt >= 2) {
+                JobResult res;
+                res.name = spec.name;
+                res.status = JobStatus::Error;
+                res.attempts = attempt;
+                res.diagnostics = "job failed after retry: unknown exception";
+                return res;
+            }
+        }
+    }
+}
+
+BatchReport VerificationDriver::run(const std::vector<JobSpec>& jobs) {
+    BatchReport report;
+    report.cache_enabled = opts_.use_cache;
+    report.timeout_ms = opts_.timeout_ms;
+    report.results.resize(jobs.size());
+
+    size_t workers = opts_.jobs;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    workers = std::min(workers, jobs.size() ? jobs.size() : size_t{1});
+    report.workers = workers;
+
+    solver::EntailCache::Stats cache_before = cache_.stats();
+    Clock::time_point start = Clock::now();
+
+    // Pull-based pool with stable result slots: each worker claims the
+    // next unclaimed job index and writes into results[i], so aggregation
+    // order never depends on scheduling.
+    std::atomic<size_t> next{0};
+    auto work = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            report.results[i] = run_job(jobs[i]);
+        }
+    };
+    if (workers <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (size_t t = 0; t < workers; ++t)
+            pool.emplace_back(work);
+        for (auto& th : pool)
+            th.join();
+    }
+
+    report.wall_ms = ms_since(start);
+    report.cache = cache_.stats().since(cache_before);
+    return report;
+}
+
+// --- job discovery ---------------------------------------------------------
+
+bool builtin_job(const std::string& name, JobSpec& out) {
+    std::string variant = name;
+    if (variant.rfind("builtin:", 0) == 0)
+        variant = variant.substr(8);
+    out = {};
+    out.name = "builtin:" + variant;
+    if (variant == "labeled")
+        out.source = proc::labeled_cpu_source();
+    else if (variant == "baseline")
+        out.source = proc::baseline_cpu_source();
+    else if (variant == "vulnerable")
+        out.source = proc::vulnerable_cpu_source();
+    else if (variant == "quad")
+        out.source = proc::quad_core_source();
+    else
+        return false;
+    return true;
+}
+
+std::vector<JobSpec> builtin_cpu_jobs() {
+    std::vector<JobSpec> jobs(4);
+    builtin_job("labeled", jobs[0]);
+    builtin_job("baseline", jobs[1]);
+    builtin_job("vulnerable", jobs[2]);
+    builtin_job("quad", jobs[3]);
+    return jobs;
+}
+
+} // namespace svlc::driver

@@ -1,0 +1,145 @@
+// Batch-verification driver: runs the full parse → elaborate →
+// well-formedness → typecheck pipeline over a *set* of jobs on a worker
+// thread pool, sharing one memoizing EntailCache across all of them.
+//
+// Design points:
+//   * Deterministic aggregation — results land in input order regardless
+//     of which worker finishes first, and only Proven (witness-free)
+//     entailment verdicts are shared through the cache, so a batch's
+//     report is byte-identical for --jobs 1 and --jobs 8.
+//   * Per-job isolation — each job owns its SourceManager, diagnostics,
+//     design, and entailment engine; the only shared state is the
+//     thread-safe cache. A cooperative per-job deadline cuts off
+//     enumeration blow-ups so one pathological design cannot stall the
+//     batch.
+//   * Retry-once — a job that throws (OOM, filesystem race) is retried
+//     one time before being reported as an error.
+#pragma once
+
+#include "check/typecheck.hpp"
+#include "solver/entail_cache.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svlc::driver {
+
+struct JobSpec {
+    /// Display name (file path, or "builtin:<variant>").
+    std::string name;
+    /// File to read; empty when `source` carries the text directly.
+    std::string path;
+    /// Inline source text (builtins and tests).
+    std::string source;
+    /// Top module override; empty = auto-detect.
+    std::string top;
+    /// Per-job deadline override in milliseconds; 0 = use the driver's
+    /// DriverOptions::timeout_ms.
+    uint64_t timeout_ms = 0;
+};
+
+enum class JobStatus {
+    Secure,   ///< type-checked, no failing obligations
+    Rejected, ///< flow violations (or structural errors) reported
+    Error,    ///< could not run: unreadable file, exception (after retry)
+    Timeout,  ///< gave up at the per-job deadline
+};
+
+const char* job_status_name(JobStatus s);
+
+struct JobResult {
+    std::string name;
+    JobStatus status = JobStatus::Error;
+    int attempts = 1;
+    size_t obligations = 0;
+    size_t failed = 0;
+    size_t downgrades = 0;
+    solver::EntailmentEngine::Stats solver;
+    /// Rendered diagnostics (with source snippets), empty when clean.
+    std::string diagnostics;
+    double wall_ms = 0.0;
+    double cpu_ms = 0.0;
+};
+
+struct DriverOptions {
+    /// Worker threads; 0 = hardware concurrency.
+    size_t jobs = 0;
+    /// Per-job deadline in milliseconds; 0 = unlimited.
+    uint64_t timeout_ms = 0;
+    /// Share a memoizing entailment cache across jobs.
+    bool use_cache = true;
+    size_t cache_capacity = solver::EntailCache::kDefaultCapacity;
+    /// Checker configuration applied to every job (mode, solver budgets).
+    check::CheckOptions check;
+};
+
+struct BatchReport {
+    std::vector<JobResult> results;
+    /// Cache counter deltas for this run plus the final entry count.
+    solver::EntailCache::Stats cache;
+    bool cache_enabled = true;
+    size_t workers = 1;
+    uint64_t timeout_ms = 0;
+    double wall_ms = 0.0;
+
+    [[nodiscard]] size_t count(JobStatus s) const;
+    /// No infrastructure failures (Error/Timeout). Rejected designs are a
+    /// *successful* verification outcome.
+    [[nodiscard]] bool all_ran() const;
+    /// Aggregated solver stats over all jobs.
+    [[nodiscard]] solver::EntailmentEngine::Stats solver_totals() const;
+
+    /// Machine-readable report (schema svlc-batch-report/v1). With
+    /// `full` off, timings and solver/cache telemetry are omitted and the
+    /// output depends only on the verification verdicts — byte-identical
+    /// across runs and worker counts.
+    [[nodiscard]] std::string to_json(bool full = true) const;
+    /// Human-readable per-job table + totals; deterministic (no timings).
+    [[nodiscard]] std::string summary() const;
+};
+
+class VerificationDriver {
+public:
+    explicit VerificationDriver(DriverOptions opts = {});
+
+    /// Runs every job and aggregates results in input order. Can be
+    /// called repeatedly; the entailment cache stays warm across runs.
+    BatchReport run(const std::vector<JobSpec>& jobs);
+
+    [[nodiscard]] solver::EntailCache& cache() { return cache_; }
+
+private:
+    JobResult run_job(const JobSpec& spec);
+    JobResult run_job_once(const JobSpec& spec);
+
+    DriverOptions opts_;
+    solver::EntailCache cache_;
+};
+
+// --- job discovery ---------------------------------------------------------
+
+/// The four generated evaluation-processor variants (src/proc), named
+/// builtin:labeled, builtin:baseline, builtin:vulnerable, builtin:quad.
+std::vector<JobSpec> builtin_cpu_jobs();
+
+/// Resolves "builtin:<variant>" to an inline-source job. Returns false
+/// for an unknown variant.
+bool builtin_job(const std::string& name, JobSpec& out);
+
+/// Reads a manifest: one job per line, `#` comments. Each line is a path
+/// (resolved relative to the manifest's directory) or builtin:<variant>,
+/// optionally followed by `top=<module>` and/or `timeout=<ms>`.
+bool jobs_from_manifest(const std::string& manifest_path,
+                        std::vector<JobSpec>& out, std::string& error);
+
+/// Recursively collects *.svlc files, sorted by path for determinism.
+bool jobs_from_directory(const std::string& dir, std::vector<JobSpec>& out,
+                         std::string& error);
+
+/// Dispatch: directory → glob, "builtin:X" → builtin, *.svlc → single
+/// file, anything else → manifest.
+bool collect_jobs(const std::string& target, std::vector<JobSpec>& out,
+                  std::string& error);
+
+} // namespace svlc::driver

@@ -1,0 +1,136 @@
+// Job discovery: manifest files, directory globs, builtin variants.
+#include "driver/driver.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace svlc::driver {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string trim(const std::string& s) {
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+bool jobs_from_manifest(const std::string& manifest_path,
+                        std::vector<JobSpec>& out, std::string& error) {
+    std::ifstream in(manifest_path);
+    if (!in) {
+        error = "cannot open manifest '" + manifest_path + "'";
+        return false;
+    }
+    fs::path base = fs::path(manifest_path).parent_path();
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string entry = trim(line);
+        if (entry.empty() || entry[0] == '#')
+            continue;
+        std::istringstream toks(entry);
+        std::string target, top;
+        uint64_t timeout_ms = 0;
+        toks >> target;
+        std::string tok;
+        while (toks >> tok) {
+            if (tok.rfind("top=", 0) == 0) {
+                top = tok.substr(4);
+            } else if (tok.rfind("timeout=", 0) == 0) {
+                char* end = nullptr;
+                std::string v = tok.substr(8);
+                timeout_ms = std::strtoull(v.c_str(), &end, 10);
+                if (v.empty() || (end && *end)) {
+                    error = manifest_path + ":" + std::to_string(lineno) +
+                            ": bad timeout '" + v + "'";
+                    return false;
+                }
+            } else {
+                error = manifest_path + ":" + std::to_string(lineno) +
+                        ": unknown manifest attribute '" + tok + "'";
+                return false;
+            }
+        }
+        JobSpec spec;
+        if (target.rfind("builtin:", 0) == 0) {
+            if (!builtin_job(target, spec)) {
+                error = manifest_path + ":" + std::to_string(lineno) +
+                        ": unknown builtin '" + target + "'";
+                return false;
+            }
+        } else {
+            fs::path p(target);
+            if (p.is_relative())
+                p = base / p;
+            spec.name = target;
+            spec.path = p.string();
+        }
+        spec.top = top;
+        spec.timeout_ms = timeout_ms;
+        out.push_back(std::move(spec));
+    }
+    return true;
+}
+
+bool jobs_from_directory(const std::string& dir, std::vector<JobSpec>& out,
+                         std::string& error) {
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (fs::recursive_directory_iterator it(dir, ec), end;
+         it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file() && it->path().extension() == ".svlc")
+            paths.push_back(it->path().string());
+    }
+    if (ec) {
+        error = "cannot scan directory '" + dir + "': " + ec.message();
+        return false;
+    }
+    if (paths.empty()) {
+        error = "no .svlc files under '" + dir + "'";
+        return false;
+    }
+    std::sort(paths.begin(), paths.end());
+    for (auto& p : paths) {
+        JobSpec spec;
+        spec.name = p;
+        spec.path = p;
+        out.push_back(std::move(spec));
+    }
+    return true;
+}
+
+bool collect_jobs(const std::string& target, std::vector<JobSpec>& out,
+                  std::string& error) {
+    if (target.rfind("builtin:", 0) == 0) {
+        JobSpec spec;
+        if (!builtin_job(target, spec)) {
+            error = "unknown builtin '" + target + "'";
+            return false;
+        }
+        out.push_back(std::move(spec));
+        return true;
+    }
+    std::error_code ec;
+    if (fs::is_directory(target, ec))
+        return jobs_from_directory(target, out, error);
+    if (fs::path(target).extension() == ".svlc") {
+        JobSpec spec;
+        spec.name = target;
+        spec.path = target;
+        out.push_back(std::move(spec));
+        return true;
+    }
+    return jobs_from_manifest(target, out, error);
+}
+
+} // namespace svlc::driver

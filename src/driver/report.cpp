@@ -1,0 +1,148 @@
+// Batch report rendering: JSON (for CI dashboards / the bench harness)
+// and a deterministic human-readable summary.
+#include "driver/driver.hpp"
+
+#include "support/json.hpp"
+
+#include <cstdio>
+
+namespace svlc::driver {
+
+size_t BatchReport::count(JobStatus s) const {
+    size_t n = 0;
+    for (const auto& r : results)
+        n += r.status == s;
+    return n;
+}
+
+bool BatchReport::all_ran() const {
+    for (const auto& r : results)
+        if (r.status == JobStatus::Error || r.status == JobStatus::Timeout)
+            return false;
+    return true;
+}
+
+solver::EntailmentEngine::Stats BatchReport::solver_totals() const {
+    solver::EntailmentEngine::Stats t;
+    for (const auto& r : results) {
+        t.queries += r.solver.queries;
+        t.syntactic_hits += r.solver.syntactic_hits;
+        t.enumerations += r.solver.enumerations;
+        t.total_candidates += r.solver.total_candidates;
+        t.cache_hits += r.solver.cache_hits;
+    }
+    return t;
+}
+
+namespace {
+
+void put_solver_stats(JsonWriter& w,
+                      const solver::EntailmentEngine::Stats& s) {
+    w.begin_object();
+    w.kv("queries", s.queries);
+    w.kv("syntactic_hits", s.syntactic_hits);
+    w.kv("cache_hits", s.cache_hits);
+    w.kv("enumerations", s.enumerations);
+    w.kv("candidates", s.total_candidates);
+    w.end_object();
+}
+
+} // namespace
+
+std::string BatchReport::to_json(bool full) const {
+    // `full` adds timings and solver/cache telemetry. Those are
+    // scheduling-dependent: two workers can race to decide the same
+    // memoized query, shifting a count from cache_hits to enumerations.
+    // With `full` off, every emitted field is a verification verdict —
+    // invariant across worker counts, cache population order, and runs.
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "svlc-batch-report/v1");
+
+    if (full) {
+        w.key("config").begin_object();
+        w.kv("workers", workers);
+        w.kv("timeout_ms", timeout_ms);
+        w.kv("cache", cache_enabled);
+        w.end_object();
+    }
+
+    w.key("jobs").begin_array();
+    for (const auto& r : results) {
+        w.begin_object();
+        w.kv("name", r.name);
+        w.kv("status", job_status_name(r.status));
+        w.kv("obligations", r.obligations);
+        w.kv("failed", r.failed);
+        w.kv("downgrades", r.downgrades);
+        w.kv("diagnostics", r.diagnostics);
+        if (full) {
+            w.kv("attempts", r.attempts);
+            w.key("solver");
+            put_solver_stats(w, r.solver);
+            w.kv("wall_ms", r.wall_ms, 3);
+            w.kv("cpu_ms", r.cpu_ms, 3);
+        }
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("totals").begin_object();
+    w.kv("jobs", results.size());
+    w.kv("secure", count(JobStatus::Secure));
+    w.kv("rejected", count(JobStatus::Rejected));
+    w.kv("error", count(JobStatus::Error));
+    w.kv("timeout", count(JobStatus::Timeout));
+    if (full) {
+        w.key("solver");
+        put_solver_stats(w, solver_totals());
+    }
+    w.end_object();
+
+    if (full) {
+        w.key("cache").begin_object();
+        w.kv("enabled", cache_enabled);
+        w.kv("hits", cache.hits);
+        w.kv("misses", cache.misses);
+        w.kv("inserts", cache.inserts);
+        w.kv("evictions", cache.evictions);
+        w.kv("entries", cache.entries);
+        w.kv("hit_rate", cache.hit_rate(), 4);
+        w.end_object();
+        w.kv("wall_ms", wall_ms, 3);
+    }
+    w.end_object();
+    std::string out = w.str();
+    out += '\n';
+    return out;
+}
+
+std::string BatchReport::summary() const {
+    std::string out;
+    char buf[256];
+    for (const auto& r : results) {
+        std::snprintf(buf, sizeof buf,
+                      "%-10s %s: %zu obligations, %zu failed, %zu "
+                      "downgrade site(s)\n",
+                      job_status_name(r.status), r.name.c_str(),
+                      r.obligations, r.failed, r.downgrades);
+        out += buf;
+    }
+    auto totals = solver_totals();
+    std::snprintf(buf, sizeof buf,
+                  "batch: %zu job(s) — %zu secure, %zu rejected, %zu "
+                  "error, %zu timeout\n",
+                  results.size(), count(JobStatus::Secure),
+                  count(JobStatus::Rejected), count(JobStatus::Error),
+                  count(JobStatus::Timeout));
+    out += buf;
+    // Only worker-count-invariant counters here; cached/enumerated splits
+    // race under concurrency and are reported via stderr and full JSON.
+    std::snprintf(buf, sizeof buf, "solver: %llu queries, %llu syntactic\n",
+                  static_cast<unsigned long long>(totals.queries),
+                  static_cast<unsigned long long>(totals.syntactic_hits));
+    out += buf;
+    return out;
+}
+
+} // namespace svlc::driver

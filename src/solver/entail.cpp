@@ -1,7 +1,10 @@
 #include "solver/entail.hpp"
 
+#include "solver/entail_cache.hpp"
+
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <sstream>
 
 namespace svlc::solver {
@@ -45,7 +48,26 @@ bool expr_equal(const Expr& a, const Expr& b) {
 EntailmentEngine::EntailmentEngine(const Design& design,
                                    const sem::Equations& eqs,
                                    EntailOptions opts)
-    : design_(design), eqs_(eqs), opts_(opts) {}
+    : design_(design), eqs_(eqs), opts_(opts) {
+    if (opts_.cache) {
+        // Entries are shareable only between engines that would run the
+        // identical decision procedure: same policy, same budgets.
+        key_prefix_ = policy_fingerprint(design_.policy);
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "|o:%u,%llu,%zu,%d,%d%d%d",
+                      opts_.max_enum_width,
+                      static_cast<unsigned long long>(opts_.max_candidates),
+                      opts_.max_enum_vars, opts_.closure_depth,
+                      opts_.use_equations, opts_.use_primed_equations,
+                      opts_.use_com_equations);
+        key_prefix_ += buf;
+    }
+}
+
+bool EntailmentEngine::past_deadline() const {
+    return opts_.deadline != std::chrono::steady_clock::time_point{} &&
+           std::chrono::steady_clock::now() > opts_.deadline;
+}
 
 void EntailmentEngine::add_var(NetId net, bool primed,
                                std::vector<Var>& out) const {
@@ -157,6 +179,13 @@ EntailResult EntailmentEngine::check_flow(
     ++stats_.queries;
     EntailResult result;
 
+    if (past_deadline()) {
+        result.status = EntailStatus::Unknown;
+        result.timed_out = true;
+        result.detail = "entailment deadline exceeded";
+        return result;
+    }
+
     // ------------------------------------------------------------------
     // Fast path: syntactic coverage of every left atom.
     // ------------------------------------------------------------------
@@ -259,12 +288,40 @@ EntailResult EntailmentEngine::check_flow(
     }
 
     // ------------------------------------------------------------------
+    // Memoization: identical canonicalized queries (same labels, same
+    // post-closure facts, same variable shapes — rampant across repeated
+    // module instances) are decided once. Tiny domains are cheaper to
+    // re-enumerate than to serialize, so they skip the cache.
+    // ------------------------------------------------------------------
+    std::string cache_key;
+    if (opts_.cache && domain >= 8) {
+        CacheKeyBuilder kb(design_, key_prefix_);
+        kb.add_label('L', lhs);
+        kb.add_label('R', rhs);
+        for (const Expr* f : facts)
+            kb.add_fact(*f);
+        cache_key = kb.finish();
+        if (auto hit = opts_.cache->lookup(cache_key)) {
+            ++stats_.cache_hits;
+            result.status = EntailStatus::Proven;
+            result.candidates = hit->candidates;
+            return result;
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Enumerate candidates.
     // ------------------------------------------------------------------
     ++stats_.enumerations;
     bool any_unknown_failure = false;
     std::string unknown_note;
     for (uint64_t idx = 0; idx < domain; ++idx) {
+        if ((idx & 0x3FF) == 0x3FF && past_deadline()) {
+            result.status = EntailStatus::Unknown;
+            result.timed_out = true;
+            result.detail = "entailment deadline exceeded mid-enumeration";
+            return result;
+        }
         Assignment asg;
         uint64_t rest = idx;
         for (const Var& v : enum_vars) {
@@ -321,6 +378,8 @@ EntailResult EntailmentEngine::check_flow(
 
     if (!any_unknown_failure) {
         result.status = EntailStatus::Proven;
+        if (!cache_key.empty())
+            opts_.cache->insert(cache_key, {result.candidates});
     } else {
         result.status = EntailStatus::Unknown;
         result.detail = unknown_note;

@@ -20,11 +20,14 @@
 #include "solver/eval3.hpp"
 #include "solver/label.hpp"
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace svlc::solver {
+
+class EntailCache;
 
 struct EntailOptions {
     /// Nets wider than this are never enumerated (their values stay
@@ -45,6 +48,15 @@ struct EntailOptions {
     bool use_primed_equations = true;
     /// Current-cycle combinational equations w = def(w).
     bool use_com_equations = true;
+    /// Memoization cache for Proven enumeration verdicts, shared (and
+    /// thread-safe) across engines whose designs use the same policy.
+    /// Not owned; nullptr disables memoization.
+    EntailCache* cache = nullptr;
+    /// Cooperative deadline: once it passes, enumerations bail out with
+    /// EntailStatus::Unknown and `EntailResult::timed_out` set, so one
+    /// pathological query cannot stall a batch. Default-constructed
+    /// time_point (the epoch) disables the deadline.
+    std::chrono::steady_clock::time_point deadline{};
 };
 
 enum class EntailStatus {
@@ -59,6 +71,9 @@ struct EntailResult {
     std::string detail;
     uint64_t candidates = 0;
     bool syntactic = false;
+    /// Set when the engine gave up because EntailOptions::deadline passed
+    /// (status is Unknown in that case).
+    bool timed_out = false;
 
     [[nodiscard]] bool proven() const { return status == EntailStatus::Proven; }
 };
@@ -82,8 +97,13 @@ public:
         uint64_t syntactic_hits = 0;
         uint64_t enumerations = 0;
         uint64_t total_candidates = 0;
+        /// Queries answered from EntailOptions::cache without enumerating.
+        uint64_t cache_hits = 0;
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    /// True once EntailOptions::deadline is set and in the past.
+    [[nodiscard]] bool past_deadline() const;
 
 private:
     using Var = std::pair<hir::NetId, bool>; // (net, primed)
@@ -97,6 +117,9 @@ private:
     const sem::Equations& eqs_;
     EntailOptions opts_;
     Stats stats_;
+    /// Cache-key prefix: policy fingerprint + enumeration budget. Built
+    /// once, on first use, when a cache is attached.
+    std::string key_prefix_;
 };
 
 } // namespace svlc::solver

@@ -1,0 +1,134 @@
+#include "support/json.hpp"
+
+#include <cstdio>
+
+namespace svlc {
+
+std::string JsonWriter::escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void JsonWriter::newline() {
+    if (indent_ <= 0)
+        return;
+    out_ += '\n';
+    out_.append(has_elem_.size() * static_cast<size_t>(indent_), ' ');
+}
+
+void JsonWriter::before_value() {
+    if (pending_key_) {
+        pending_key_ = false;
+        return; // the key already handled separators/indent
+    }
+    if (!has_elem_.empty()) {
+        if (has_elem_.back())
+            out_ += ',';
+        has_elem_.back() = true;
+        newline();
+    }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    before_value();
+    out_ += '{';
+    has_elem_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    bool had = has_elem_.back();
+    has_elem_.pop_back();
+    if (had)
+        newline();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    before_value();
+    out_ += '[';
+    has_elem_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    bool had = has_elem_.back();
+    has_elem_.pop_back();
+    if (had)
+        newline();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    if (has_elem_.back())
+        out_ += ',';
+    has_elem_.back() = true;
+    newline();
+    out_ += '"';
+    out_ += escape(k);
+    out_ += indent_ > 0 ? "\": " : "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+    before_value();
+    out_ += '"';
+    out_ += escape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+    before_value();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+    before_value();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+    before_value();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v, int precision) {
+    before_value();
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    out_ += buf;
+    return *this;
+}
+
+} // namespace svlc

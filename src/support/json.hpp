@@ -1,0 +1,61 @@
+// Minimal JSON emitter for machine-readable reports (no external deps).
+// Deterministic output: keys are emitted in call order, doubles with a
+// fixed precision, so two writers fed identical data produce identical
+// bytes — the batch driver's reproducibility tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svlc {
+
+class JsonWriter {
+public:
+    /// `indent` spaces per nesting level; 0 emits compact single-line JSON.
+    explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Names the next value inside an object.
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view s);
+    JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+    JsonWriter& value(bool b);
+    JsonWriter& value(uint64_t v);
+    JsonWriter& value(int64_t v);
+    JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+    /// Fixed-point with `precision` fractional digits.
+    JsonWriter& value(double v, int precision = 3);
+
+    /// key + value in one call.
+    template <typename T> JsonWriter& kv(std::string_view k, const T& v) {
+        key(k);
+        return value(v);
+    }
+    JsonWriter& kv(std::string_view k, double v, int precision) {
+        key(k);
+        return value(v, precision);
+    }
+
+    [[nodiscard]] const std::string& str() const { return out_; }
+
+    static std::string escape(std::string_view s);
+
+private:
+    void before_value();
+    void newline();
+
+    std::string out_;
+    int indent_;
+    /// Per-level state: whether any element was emitted yet.
+    std::vector<bool> has_elem_;
+    bool pending_key_ = false;
+};
+
+} // namespace svlc

@@ -7,8 +7,11 @@
 //   svlc synth <file.svlc> [--top M] [--no-enable-ff] [--clock NS]
 //   svlc taint <file.svlc> [--top M] --cycles N [--set in=val]...
 //   svlc dump-cpu <labeled|baseline|vulnerable|quad> [outfile]
+//   svlc batch <manifest|dir|file.svlc|builtin:V> [--jobs N] [--json F]
+//              [--timeout-ms T] [--no-cache] [--warm] [--cpus]
 #include "check/typecheck.hpp"
 #include "codegen/verilog.hpp"
+#include "driver/driver.hpp"
 #include "parse/parser.hpp"
 #include "proc/assembler.hpp"
 #include "proc/isa.hpp"
@@ -37,6 +40,10 @@ int usage() {
     std::fprintf(stderr,
                  "usage:\n"
                  "  svlc check <file.svlc> [--top M] [--classic] [--no-hold]\n"
+                 "             [--stats]\n"
+                 "  svlc batch <manifest|dir|file.svlc|builtin:V> [--jobs N]\n"
+                 "             [--json out.json] [--timeout-ms T] [--no-cache]\n"
+                 "             [--warm] [--cpus] [--classic] [--no-hold]\n"
                  "  svlc emit-verilog <file.svlc> [--top M] [--compat]\n"
                  "  svlc sim <file.svlc> [--top M] --cycles N [--set in=val]...\n"
                  "           [--vcd out.vcd] [--watch net]...\n"
@@ -63,6 +70,15 @@ struct Args {
     std::string vcd_path;
     std::string extra; // dump-cpu variant / outfile
     std::string outfile;
+    // check --stats
+    bool stats = false;
+    // batch
+    uint64_t jobs = 0;
+    std::string json_path;
+    uint64_t timeout_ms = 0;
+    bool no_cache = false;
+    bool warm = false;
+    bool cpus = false;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -136,6 +152,39 @@ bool parse_args(int argc, char** argv, Args& args) {
             if (!v)
                 return false;
             args.vcd_path = v;
+        } else if (arg == "--stats") {
+            args.stats = true;
+        } else if (arg == "--jobs") {
+            const char* v = next();
+            if (!v)
+                return false;
+            char* end = nullptr;
+            args.jobs = std::strtoull(v, &end, 0);
+            if (!*v || *end) {
+                std::fprintf(stderr, "--jobs: bad count '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--json") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.json_path = v;
+        } else if (arg == "--timeout-ms") {
+            const char* v = next();
+            if (!v)
+                return false;
+            char* end = nullptr;
+            args.timeout_ms = std::strtoull(v, &end, 0);
+            if (!*v || *end) {
+                std::fprintf(stderr, "--timeout-ms: bad value '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--no-cache") {
+            args.no_cache = true;
+        } else if (arg == "--warm") {
+            args.warm = true;
+        } else if (arg == "--cpus") {
+            args.cpus = true;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return false;
@@ -193,7 +242,76 @@ int cmd_check(const Args& args) {
                                                               : "declassify",
                         d.description.c_str());
     }
+    if (args.stats) {
+        const auto& s = result.solver_stats;
+        std::fprintf(stderr,
+                     "solver stats: %llu queries, %llu syntactic hits, "
+                     "%llu enumerations, %llu candidates (avg %.1f per "
+                     "enumeration)\n",
+                     static_cast<unsigned long long>(s.queries),
+                     static_cast<unsigned long long>(s.syntactic_hits),
+                     static_cast<unsigned long long>(s.enumerations),
+                     static_cast<unsigned long long>(s.total_candidates),
+                     s.enumerations ? static_cast<double>(s.total_candidates) /
+                                          static_cast<double>(s.enumerations)
+                                    : 0.0);
+    }
     return result.ok ? 0 : 1;
+}
+
+int cmd_batch(const Args& args) {
+    std::vector<driver::JobSpec> jobs;
+    std::string error;
+    if (!driver::collect_jobs(args.file, jobs, error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+    }
+    if (args.cpus) {
+        auto cpu_jobs = driver::builtin_cpu_jobs();
+        jobs.insert(jobs.end(), std::make_move_iterator(cpu_jobs.begin()),
+                    std::make_move_iterator(cpu_jobs.end()));
+    }
+
+    driver::DriverOptions opts;
+    opts.jobs = args.jobs;
+    opts.timeout_ms = args.timeout_ms;
+    opts.use_cache = !args.no_cache;
+    if (args.classic)
+        opts.check.mode = check::CheckerMode::ClassicSecVerilog;
+    opts.check.hold_obligations = !args.no_hold;
+
+    driver::VerificationDriver drv(opts);
+    if (args.warm) {
+        // Untimed warm-up pass: populate the entailment cache so the
+        // reported run measures steady-state (CI dashboard) behaviour.
+        (void)drv.run(jobs);
+    }
+    driver::BatchReport report = drv.run(jobs);
+
+    // The stdout summary is deterministic (verdicts only); timings and
+    // cache telemetry go to stderr and the JSON report.
+    std::fputs(report.summary().c_str(), stdout);
+    std::fprintf(stderr,
+                 "batch wall %.1f ms on %zu worker(s); cache: %llu hits / "
+                 "%llu misses (%.1f%%), %llu entries\n",
+                 report.wall_ms, report.workers,
+                 static_cast<unsigned long long>(report.cache.hits),
+                 static_cast<unsigned long long>(report.cache.misses),
+                 report.cache.hit_rate() * 100.0,
+                 static_cast<unsigned long long>(report.cache.entries));
+    if (!args.json_path.empty()) {
+        std::ofstream out(args.json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         args.json_path.c_str());
+            return 2;
+        }
+        out << report.to_json(true);
+        std::fprintf(stderr, "wrote %s\n", args.json_path.c_str());
+    }
+    // Rejected designs are a successful verification outcome; only
+    // infrastructure failures (error/timeout) fail the batch.
+    return report.all_ran() ? 0 : 1;
 }
 
 int cmd_emit(const Args& args) {
@@ -420,6 +538,8 @@ int main(int argc, char** argv) {
         return usage();
     if (args.command == "check")
         return cmd_check(args);
+    if (args.command == "batch")
+        return cmd_batch(args);
     if (args.command == "emit-verilog")
         return cmd_emit(args);
     if (args.command == "sim")
