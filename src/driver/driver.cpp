@@ -1,17 +1,18 @@
 #include "driver/driver.hpp"
 
+#include "incr/fingerprint.hpp"
 #include "parse/parser.hpp"
 #include "proc/sources.hpp"
 #include "sem/elaborate.hpp"
 #include "sem/wellformed.hpp"
 #include "support/diagnostics.hpp"
+#include "support/fsutil.hpp"
 #include "support/source_manager.hpp"
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <exception>
-#include <fstream>
-#include <sstream>
 #include <thread>
 
 #ifdef __linux__
@@ -55,9 +56,25 @@ const char* job_status_name(JobStatus s) {
 }
 
 VerificationDriver::VerificationDriver(DriverOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cache_capacity) {}
+    : opts_(std::move(opts)), cache_(opts_.cache_capacity) {
+    if (!opts_.store_dir.empty()) {
+        incr::StoreOptions sopts;
+        sopts.dir = opts_.store_dir;
+        sopts.entail_budget = opts_.store_entail_budget;
+        auto store = std::make_unique<incr::ArtifactStore>(sopts);
+        std::string error;
+        if (store->open(error)) {
+            store_ = std::move(store);
+        } else {
+            // A broken store degrades to a cold run, never a failed one.
+            std::fprintf(stderr, "svlc: store disabled: %s\n",
+                         error.c_str());
+        }
+    }
+}
 
-JobResult VerificationDriver::run_job_once(const JobSpec& spec) {
+JobResult VerificationDriver::run_job_once(const JobSpec& spec,
+                                           const std::string& text) {
     JobResult res;
     res.name = spec.name;
 
@@ -73,18 +90,6 @@ JobResult VerificationDriver::run_job_once(const JobSpec& spec) {
         res.cpu_ms = thread_cpu_ms() - cpu_start;
         return res;
     };
-
-    std::string text = spec.source;
-    if (text.empty() && !spec.path.empty()) {
-        std::ifstream in(spec.path);
-        if (!in) {
-            res.diagnostics = "cannot open '" + spec.path + "'";
-            return finish(JobStatus::Error);
-        }
-        std::stringstream buf;
-        buf << in.rdbuf();
-        text = buf.str();
-    }
 
     SourceManager sm;
     DiagnosticEngine diags(&sm);
@@ -119,13 +124,59 @@ JobResult VerificationDriver::run_job_once(const JobSpec& spec) {
 }
 
 JobResult VerificationDriver::run_job(const JobSpec& spec) {
+    std::string text = spec.source;
+    if (text.empty() && !spec.path.empty() && !read_file(spec.path, text)) {
+        JobResult res;
+        res.name = spec.name;
+        res.status = JobStatus::Error;
+        res.diagnostics = "cannot open '" + spec.path + "'";
+        return res;
+    }
+
+    // Fingerprint gate: an unchanged job (same source bytes, top, checker
+    // configuration, tool version) replays its stored verdict without
+    // touching the pipeline at all.
+    std::string fp;
+    if (store_) {
+        fp = incr::job_fingerprint(spec.name, text, spec.top, opts_.check);
+        if (auto hit = store_->load_verdict(fp)) {
+            JobResult res;
+            res.name = spec.name;
+            res.status =
+                hit->secure ? JobStatus::Secure : JobStatus::Rejected;
+            res.skipped = true;
+            res.fingerprint = fp;
+            res.attempts = 0;
+            res.obligations = hit->obligations;
+            res.failed = hit->failed;
+            res.downgrades = hit->downgrades;
+            res.diagnostics = hit->diagnostics;
+            return res;
+        }
+    }
+
     // Retry once on transient failure (allocation failure, filesystem
     // race, ...). Deterministic verdicts — parse errors, flow violations,
     // deadline expiry — are not retried.
     for (int attempt = 1;; ++attempt) {
         try {
-            JobResult res = run_job_once(spec);
+            JobResult res = run_job_once(spec, text);
             res.attempts = attempt;
+            res.fingerprint = fp;
+            // Only deterministic verdicts persist: a timeout depends on
+            // the deadline and an error on transient conditions, so
+            // replaying either could mask a now-healthy run.
+            if (store_ && !fp.empty() &&
+                (res.status == JobStatus::Secure ||
+                 res.status == JobStatus::Rejected)) {
+                incr::StoredVerdict v;
+                v.secure = res.status == JobStatus::Secure;
+                v.obligations = res.obligations;
+                v.failed = res.failed;
+                v.downgrades = res.downgrades;
+                v.diagnostics = res.diagnostics;
+                store_->store_verdict(fp, v);
+            }
             return res;
         } catch (const std::exception& e) {
             if (attempt >= 2) {
@@ -153,8 +204,20 @@ JobResult VerificationDriver::run_job(const JobSpec& spec) {
 BatchReport VerificationDriver::run(const std::vector<JobSpec>& jobs) {
     BatchReport report;
     report.cache_enabled = opts_.use_cache;
+    report.store_enabled = store_ != nullptr;
     report.timeout_ms = opts_.timeout_ms;
     report.results.resize(jobs.size());
+
+    // Warm the in-memory entailment cache from disk once per driver;
+    // later runs in the same process are already warmer than the store.
+    if (store_ && !store_loaded_) {
+        store_loaded_ = true;
+        if (opts_.use_cache)
+            store_->load_entail(cache_);
+    }
+    incr::ArtifactStore::Stats store_before;
+    if (store_)
+        store_before = store_->stats();
 
     size_t workers = opts_.jobs;
     if (workers == 0) {
@@ -191,8 +254,26 @@ BatchReport VerificationDriver::run(const std::vector<JobSpec>& jobs) {
             th.join();
     }
 
+    // Persist what this run learned: newly decided Proven entries merge
+    // into the on-disk cache (budgeted, oldest first out).
+    if (store_ && opts_.use_cache)
+        store_->flush_entail(cache_);
+
     report.wall_ms = ms_since(start);
     report.cache = cache_.stats().since(cache_before);
+    if (store_) {
+        incr::ArtifactStore::Stats now = store_->stats();
+        report.store.verdict_hits =
+            now.verdict_hits - store_before.verdict_hits;
+        report.store.verdict_misses =
+            now.verdict_misses - store_before.verdict_misses;
+        report.store.verdict_stores =
+            now.verdict_stores - store_before.verdict_stores;
+        report.store.entail_loaded = now.entail_loaded;
+        report.store.entail_flushed = now.entail_flushed;
+        report.store.entail_evicted = now.entail_evicted;
+        report.store.corrupt_discarded = now.corrupt_discarded;
+    }
     return report;
 }
 

@@ -17,9 +17,11 @@
 #pragma once
 
 #include "check/typecheck.hpp"
+#include "incr/store.hpp"
 #include "solver/entail_cache.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,11 @@ const char* job_status_name(JobStatus s);
 struct JobResult {
     std::string name;
     JobStatus status = JobStatus::Error;
+    /// Verdict replayed from the persistent store (fingerprint hit); the
+    /// job was not parsed, elaborated, or checked this run.
+    bool skipped = false;
+    /// Job fingerprint (64 hex chars) when a store is configured.
+    std::string fingerprint;
     int attempts = 1;
     size_t obligations = 0;
     size_t failed = 0;
@@ -70,6 +77,12 @@ struct DriverOptions {
     /// Share a memoizing entailment cache across jobs.
     bool use_cache = true;
     size_t cache_capacity = solver::EntailCache::kDefaultCapacity;
+    /// Persistent store directory (incr/store.hpp); empty disables
+    /// persistence. When set, unchanged jobs are answered from stored
+    /// verdicts and the entailment cache survives across processes.
+    std::string store_dir;
+    /// Proven entries kept in the persisted entailment cache.
+    size_t store_entail_budget = incr::StoreOptions{}.entail_budget;
     /// Checker configuration applied to every job (mode, solver budgets).
     check::CheckOptions check;
 };
@@ -79,11 +92,16 @@ struct BatchReport {
     /// Cache counter deltas for this run plus the final entry count.
     solver::EntailCache::Stats cache;
     bool cache_enabled = true;
+    /// Persistent-store counter deltas for this run (when enabled).
+    incr::ArtifactStore::Stats store;
+    bool store_enabled = false;
     size_t workers = 1;
     uint64_t timeout_ms = 0;
     double wall_ms = 0.0;
 
     [[nodiscard]] size_t count(JobStatus s) const;
+    /// Jobs answered from the store without re-verification.
+    [[nodiscard]] size_t skipped_count() const;
     /// No infrastructure failures (Error/Timeout). Rejected designs are a
     /// *successful* verification outcome.
     [[nodiscard]] bool all_ran() const;
@@ -108,13 +126,18 @@ public:
     BatchReport run(const std::vector<JobSpec>& jobs);
 
     [[nodiscard]] solver::EntailCache& cache() { return cache_; }
+    /// Non-null when DriverOptions::store_dir is set and the store
+    /// opened successfully.
+    [[nodiscard]] incr::ArtifactStore* store() { return store_.get(); }
 
 private:
     JobResult run_job(const JobSpec& spec);
-    JobResult run_job_once(const JobSpec& spec);
+    JobResult run_job_once(const JobSpec& spec, const std::string& text);
 
     DriverOptions opts_;
     solver::EntailCache cache_;
+    std::unique_ptr<incr::ArtifactStore> store_;
+    bool store_loaded_ = false;
 };
 
 // --- job discovery ---------------------------------------------------------

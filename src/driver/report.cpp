@@ -22,6 +22,13 @@ bool BatchReport::all_ran() const {
     return true;
 }
 
+size_t BatchReport::skipped_count() const {
+    size_t n = 0;
+    for (const auto& r : results)
+        n += r.skipped;
+    return n;
+}
+
 solver::EntailmentEngine::Stats BatchReport::solver_totals() const {
     solver::EntailmentEngine::Stats t;
     for (const auto& r : results) {
@@ -30,6 +37,7 @@ solver::EntailmentEngine::Stats BatchReport::solver_totals() const {
         t.enumerations += r.solver.enumerations;
         t.total_candidates += r.solver.total_candidates;
         t.cache_hits += r.solver.cache_hits;
+        t.cache_misses += r.solver.cache_misses;
     }
     return t;
 }
@@ -41,7 +49,11 @@ void put_solver_stats(JsonWriter& w,
     w.begin_object();
     w.kv("queries", s.queries);
     w.kv("syntactic_hits", s.syntactic_hits);
+    // Per-job attribution: these come from the job's own engine, so a
+    // design's cache efficacy is visible even though the cache itself is
+    // shared batch-wide.
     w.kv("cache_hits", s.cache_hits);
+    w.kv("cache_misses", s.cache_misses);
     w.kv("enumerations", s.enumerations);
     w.kv("candidates", s.total_candidates);
     w.end_object();
@@ -77,6 +89,14 @@ std::string BatchReport::to_json(bool full) const {
         w.kv("downgrades", r.downgrades);
         w.kv("diagnostics", r.diagnostics);
         if (full) {
+            // Skip provenance and telemetry are store/scheduling state,
+            // not verdicts, so they stay out of the stable subset —
+            // warm (all-skipped) and cold runs must agree byte-for-byte
+            // on to_json(false).
+            if (r.skipped)
+                w.kv("skipped", "fingerprint-hit");
+            if (!r.fingerprint.empty())
+                w.kv("fingerprint", r.fingerprint);
             w.kv("attempts", r.attempts);
             w.key("solver");
             put_solver_stats(w, r.solver);
@@ -94,6 +114,7 @@ std::string BatchReport::to_json(bool full) const {
     w.kv("error", count(JobStatus::Error));
     w.kv("timeout", count(JobStatus::Timeout));
     if (full) {
+        w.kv("skipped", skipped_count());
         w.key("solver");
         put_solver_stats(w, solver_totals());
     }
@@ -108,6 +129,16 @@ std::string BatchReport::to_json(bool full) const {
         w.kv("evictions", cache.evictions);
         w.kv("entries", cache.entries);
         w.kv("hit_rate", cache.hit_rate(), 4);
+        w.end_object();
+        w.key("store").begin_object();
+        w.kv("enabled", store_enabled);
+        w.kv("hits", store.verdict_hits);
+        w.kv("misses", store.verdict_misses);
+        w.kv("stores", store.verdict_stores);
+        w.kv("entail_loaded", store.entail_loaded);
+        w.kv("entail_flushed", store.entail_flushed);
+        w.kv("entail_evicted", store.entail_evicted);
+        w.kv("corrupt_discarded", store.corrupt_discarded);
         w.end_object();
         w.kv("wall_ms", wall_ms, 3);
     }

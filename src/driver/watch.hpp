@@ -1,0 +1,37 @@
+// `svlc watch` — a resident edit–recheck loop over a batch target.
+//
+// Each iteration polls the job set: the target is re-collected (new and
+// deleted .svlc files are picked up), file jobs are stat'ed, and only
+// files whose mtime/size moved are re-read and re-hashed. Jobs whose
+// *fingerprint* changed (content hash ⊔ top ⊔ checker configuration) are
+// re-verified through the batch driver — sharing its warm entailment
+// cache and, when a store is configured, its persistent verdicts — and a
+// per-iteration delta report (dirty set, verdict transitions, timing) is
+// printed. Unchanged jobs cost one stat() each.
+#pragma once
+
+#include "driver/driver.hpp"
+
+#include <cstdio>
+
+namespace svlc::driver {
+
+struct WatchOptions {
+    /// Driver configuration (workers, timeouts, cache, store).
+    DriverOptions driver;
+    /// Poll period between iterations.
+    uint64_t interval_ms = 500;
+    /// Stop after this many iterations; 0 = run until killed. The first
+    /// iteration always verifies the full job set (modulo store hits).
+    uint64_t max_iterations = 0;
+    /// Append the builtin CPU variants to the watched set.
+    bool include_cpus = false;
+};
+
+/// Runs the watch loop; delta reports go to `out`, infrastructure
+/// errors to `err`. Returns 0 on clean exit (iteration budget reached),
+/// 2 when the target cannot be collected at startup.
+int run_watch(const std::string& target, const WatchOptions& opts,
+              std::FILE* out, std::FILE* err);
+
+} // namespace svlc::driver

@@ -307,6 +307,7 @@ EntailResult EntailmentEngine::check_flow(
             result.candidates = hit->candidates;
             return result;
         }
+        ++stats_.cache_misses;
     }
 
     // ------------------------------------------------------------------

@@ -99,6 +99,10 @@ public:
         uint64_t total_candidates = 0;
         /// Queries answered from EntailOptions::cache without enumerating.
         uint64_t cache_hits = 0;
+        /// Cacheable queries that missed and had to enumerate. Per-engine
+        /// (hence per-job), unlike EntailCache::Stats which aggregates
+        /// over every engine sharing the cache.
+        uint64_t cache_misses = 0;
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 

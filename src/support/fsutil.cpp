@@ -1,0 +1,72 @@
+#include "support/fsutil.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#define SVLC_GETPID _getpid
+#else
+#include <unistd.h>
+#define SVLC_GETPID getpid
+#endif
+
+namespace svlc {
+
+namespace fs = std::filesystem;
+
+bool read_file(const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return !in.bad();
+}
+
+bool write_file_atomic(const std::string& path, const std::string& data,
+                       std::string* error) {
+    // Unique per process *and* per call: concurrent driver workers flush
+    // verdicts into the same directory.
+    static std::atomic<uint64_t> counter{0};
+    char suffix[64];
+    std::snprintf(suffix, sizeof suffix, ".tmp.%d.%llu",
+                  static_cast<int>(SVLC_GETPID()),
+                  static_cast<unsigned long long>(
+                      counter.fetch_add(1, std::memory_order_relaxed)));
+    std::string tmp = path + suffix;
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            if (error)
+                *error = "cannot create '" + tmp + "'";
+            return false;
+        }
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size()));
+        out.flush();
+        if (!out) {
+            if (error)
+                *error = "short write to '" + tmp + "'";
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        if (error)
+            *error = "cannot rename '" + tmp + "' to '" + path +
+                     "': " + ec.message();
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace svlc

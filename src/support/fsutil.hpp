@@ -1,0 +1,21 @@
+// Filesystem helpers shared by the CLI, driver, and persistent store:
+// whole-file reads and crash-safe writes (unique temp file in the target
+// directory + atomic rename, so readers never observe a half-written
+// artifact and an interrupted writer leaves the previous version intact).
+#pragma once
+
+#include <string>
+
+namespace svlc {
+
+/// Reads the whole file into `out` (binary). False if unreadable.
+bool read_file(const std::string& path, std::string& out);
+
+/// Writes `data` to `<path>.tmp.<unique>` and renames it over `path`.
+/// The rename is atomic on POSIX, so concurrent writers race benignly
+/// (last-committed-wins) and a crash never corrupts `path`. On failure
+/// the temp file is removed and `error` (when non-null) says why.
+bool write_file_atomic(const std::string& path, const std::string& data,
+                       std::string* error = nullptr);
+
+} // namespace svlc

@@ -1,0 +1,143 @@
+// EntailCache shard-eviction coverage: filling a shard past
+// capacity/kShards must evict oldest-inserted entries first, and an
+// eviction-heavy (undersized) cache must never change a verdict relative
+// to an uncached run — eviction only costs re-derivation, not soundness.
+#include "solver/entail_cache.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace svlc::test {
+namespace {
+
+using solver::EntailCache;
+
+// Mirrors EntailCache's sharding (16 shards over std::hash) so the test
+// can construct deterministic same-shard collisions within this binary.
+constexpr size_t kShards = 16;
+
+std::vector<std::string> same_shard_keys(size_t want) {
+    std::vector<std::string> out;
+    size_t target = std::hash<std::string>{}("shard-probe-0") % kShards;
+    for (int i = 0; out.size() < want && i < 100000; ++i) {
+        std::string key = "shard-probe-" + std::to_string(i);
+        if (std::hash<std::string>{}(key) % kShards == target)
+            out.push_back(std::move(key));
+    }
+    return out;
+}
+
+TEST(EntailCacheEviction, OldestInsertedEvictedFirstWithinShard) {
+    // capacity 32 → per-shard capacity 2.
+    EntailCache cache(32);
+    auto keys = same_shard_keys(5);
+    ASSERT_EQ(keys.size(), 5u);
+
+    for (size_t i = 0; i < keys.size(); ++i)
+        cache.insert(keys[i], {uint64_t(i) + 1});
+
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.inserts, 5u);
+    EXPECT_EQ(stats.evictions, 3u); // k0, k1, k2 out — oldest first
+    EXPECT_EQ(stats.entries, 2u);
+
+    EXPECT_FALSE(cache.lookup(keys[0]).has_value());
+    EXPECT_FALSE(cache.lookup(keys[1]).has_value());
+    EXPECT_FALSE(cache.lookup(keys[2]).has_value());
+    auto k3 = cache.lookup(keys[3]);
+    auto k4 = cache.lookup(keys[4]);
+    ASSERT_TRUE(k3.has_value());
+    ASSERT_TRUE(k4.has_value());
+    EXPECT_EQ(k3->candidates, 4u);
+    EXPECT_EQ(k4->candidates, 5u);
+}
+
+TEST(EntailCacheEviction, ReinsertAfterEvictionIsFreshEntry) {
+    EntailCache cache(32); // per-shard capacity 2
+    auto keys = same_shard_keys(3);
+    ASSERT_EQ(keys.size(), 3u);
+
+    cache.insert(keys[0], {1});
+    cache.insert(keys[1], {2});
+    cache.insert(keys[2], {3}); // evicts keys[0]
+    EXPECT_FALSE(cache.lookup(keys[0]).has_value());
+
+    cache.insert(keys[0], {4}); // back in, now the newest; evicts keys[1]
+    EXPECT_FALSE(cache.lookup(keys[1]).has_value());
+    ASSERT_TRUE(cache.lookup(keys[0]).has_value());
+    EXPECT_EQ(cache.lookup(keys[0])->candidates, 4u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+// The twin design decides the same canonicalized obligations repeatedly;
+// a 16-entry cache (per-shard capacity 1) thrashes, which must only cost
+// time, never flip a verdict.
+const char* kTwinInstances = R"(
+lattice { level T; level U; flow T -> U; }
+function owner(x:1) { 0 -> T; default -> U; }
+module core(input com {T} handoff, input com [7:0] {U} u_step,
+            output com [7:0] {U} value);
+  reg seq {T} who;
+  reg seq [7:0] {owner(who)} count;
+  assign value = count;
+  always @(seq) begin
+    if (handoff) who <= ~who;
+  end
+  always @(seq) begin
+    if (handoff && (who == 1'b1) && (next(who) == 1'b0)) count <= 8'h00;
+    else if (who == 1'b1) count <= count + u_step;
+    else count <= count + 8'h01;
+  end
+endmodule
+module twin(input com {T} h, input com [7:0] {U} s0,
+            input com [7:0] {U} s1, output com [7:0] {U} v0,
+            output com [7:0] {U} v1);
+  core a(.handoff(h), .u_step(s0), .value(v0));
+  core b(.handoff(h), .u_step(s1), .value(v1));
+endmodule
+)";
+
+TEST(EntailCacheEviction, EvictionHeavyCacheKeepsVerdictsIdentical) {
+    Compiled c = compile(kTwinInstances);
+    ASSERT_TRUE(c.ok()) << c.errors();
+
+    DiagnosticEngine d_off;
+    auto uncached = check::check_design(*c.design, d_off, {});
+
+    EntailCache tiny(16); // per-shard capacity 1: maximal thrash
+    check::CheckOptions opts;
+    opts.solver.cache = &tiny;
+    DiagnosticEngine d_on;
+    auto cached = check::check_design(*c.design, d_on, opts);
+    // Flood every shard well past capacity so the design's own entries
+    // are evicted, then re-check against the thrashed cache.
+    for (int i = 0; i < 64; ++i)
+        tiny.insert("flood-" + std::to_string(i), {uint64_t(i)});
+    DiagnosticEngine d_again;
+    auto again = check::check_design(*c.design, d_again, opts);
+
+    ASSERT_EQ(uncached.obligations.size(), cached.obligations.size());
+    ASSERT_EQ(uncached.obligations.size(), again.obligations.size());
+    for (size_t i = 0; i < uncached.obligations.size(); ++i) {
+        EXPECT_EQ(uncached.obligations[i].result.status,
+                  cached.obligations[i].result.status)
+            << "obligation " << i;
+        EXPECT_EQ(uncached.obligations[i].result.status,
+                  again.obligations[i].result.status)
+            << "obligation " << i;
+    }
+    EXPECT_EQ(uncached.ok, cached.ok);
+    EXPECT_EQ(uncached.failed, again.failed);
+    // The cache really was past capacity: entries never exceed it and
+    // something got pushed out.
+    EXPECT_LE(tiny.stats().entries, 16u);
+    EXPECT_GT(tiny.stats().evictions, 0u);
+}
+
+} // namespace
+} // namespace svlc::test

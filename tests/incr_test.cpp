@@ -1,0 +1,451 @@
+// Persistent incremental verification (src/incr): fingerprint
+// definition, verdict round-trips, entailment-cache persistence with
+// budgeted oldest-first compaction, corruption recovery, and the driver
+// integration (fingerprint skips, single-job invalidation, byte-identical
+// verdict sets).
+#include "incr/fingerprint.hpp"
+#include "incr/store.hpp"
+
+#include "driver/driver.hpp"
+#include "driver/watch.hpp"
+#include "support/fsutil.hpp"
+#include "support/hash.hpp"
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace svlc::test {
+namespace {
+
+namespace fs = std::filesystem;
+using driver::BatchReport;
+using driver::DriverOptions;
+using driver::JobSpec;
+using driver::JobStatus;
+using driver::VerificationDriver;
+using incr::ArtifactStore;
+using incr::StoredVerdict;
+using incr::StoreOptions;
+
+const char* kSecure = R"(
+lattice { level T; level U; flow T -> U; }
+module ok(input com {T} a, output com {T} b);
+  assign b = a;
+endmodule
+)";
+
+const char* kRejected = R"(
+lattice { level T; level U; flow T -> U; }
+module bad(input com {U} dirty);
+  reg seq {T} creg;
+  always @(seq) begin
+    creg <= dirty;
+  end
+endmodule
+)";
+
+// A design whose obligations hit the enumeration path, so Proven entries
+// land in the entailment cache (domain >= 8).
+const char* kModeSwitch = R"(
+lattice { level T; level U; flow T -> U; }
+function mode_to_lb(x:1) { 0 -> T; default -> U; }
+module m(input com {T} rst,
+         input com [15:0] {T} decode_out,
+         input com [15:0] {U} epc_in);
+  wire com {T} mode_switch;
+  reg seq [15:0] {U} epc;
+  reg seq {T} mode;
+  reg seq [15:0] {mode_to_lb(mode)} pc;
+  assign mode_switch = decode_out[4];
+  always @(seq) begin
+    if (rst) pc <= 16'b0;
+    else if (mode_switch && (next(mode) == 1'b0)) pc <= 16'h8000;
+    else if (mode_switch) pc <= epc;
+  end
+  always @(seq) begin
+    if (mode_switch) mode <= ~mode;
+  end
+  always @(seq) begin
+    epc <= epc_in;
+  end
+endmodule
+)";
+
+class IncrTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        // Keyed by test name, not a counter: ctest runs each test in its
+        // own process, where any per-process counter restarts at zero
+        // and parallel tests would collide on the same directory.
+        dir_ = fs::temp_directory_path() /
+               (std::string("svlc_incr_test_") +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+        fs::create_directories(dir_);
+    }
+    void TearDown() override {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+    std::string store_dir() const { return (dir_ / "store").string(); }
+    std::string write(const fs::path& rel, const std::string& text) {
+        fs::path p = dir_ / rel;
+        std::ofstream out(p);
+        out << text;
+        return p.string();
+    }
+    fs::path dir_;
+};
+
+// --- hashing / fingerprints ------------------------------------------------
+
+TEST(IncrHash, Sha256KnownVectors) {
+    EXPECT_EQ(sha256_hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+    EXPECT_EQ(sha256_hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+    // Multi-block + incremental chunking agree with one-shot.
+    std::string big(1000, 'x');
+    Sha256 h;
+    h.update(big.substr(0, 7));
+    h.update(big.substr(7));
+    EXPECT_EQ(h.hex_digest(), sha256_hex(big));
+}
+
+TEST(IncrFingerprint, SensitiveToEveryVerdictInput) {
+    check::CheckOptions opts;
+    std::string base = incr::job_fingerprint("a.svlc", kSecure, "", opts);
+    EXPECT_EQ(base.size(), 64u);
+
+    EXPECT_EQ(base, incr::job_fingerprint("a.svlc", kSecure, "", opts));
+    EXPECT_NE(base, incr::job_fingerprint("b.svlc", kSecure, "", opts));
+    EXPECT_NE(base,
+              incr::job_fingerprint("a.svlc", kRejected, "", opts));
+    EXPECT_NE(base, incr::job_fingerprint("a.svlc", kSecure, "ok", opts));
+
+    check::CheckOptions classic;
+    classic.mode = check::CheckerMode::ClassicSecVerilog;
+    EXPECT_NE(base, incr::job_fingerprint("a.svlc", kSecure, "", classic));
+
+    check::CheckOptions budget;
+    budget.solver.max_candidates = 42;
+    EXPECT_NE(base, incr::job_fingerprint("a.svlc", kSecure, "", budget));
+
+    // The deadline is NOT part of the fingerprint: stored verdicts are
+    // deadline-independent (timeouts are never stored).
+    check::CheckOptions deadline = opts;
+    deadline.solver.deadline =
+        std::chrono::steady_clock::now() + std::chrono::hours(1);
+    EXPECT_EQ(base,
+              incr::job_fingerprint("a.svlc", kSecure, "", deadline));
+}
+
+// --- verdict store ---------------------------------------------------------
+
+TEST_F(IncrTest, VerdictRoundTrip) {
+    ArtifactStore store({store_dir(), 1024});
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+
+    std::string fp = sha256_hex("some job");
+    EXPECT_FALSE(store.load_verdict(fp).has_value());
+
+    StoredVerdict v;
+    v.secure = false;
+    v.obligations = 7;
+    v.failed = 2;
+    v.downgrades = 1;
+    v.diagnostics = "line one\nline \"two\" with bytes \x01\x02\n";
+    ASSERT_TRUE(store.store_verdict(fp, v));
+
+    auto got = store.load_verdict(fp);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_FALSE(got->secure);
+    EXPECT_EQ(got->obligations, 7u);
+    EXPECT_EQ(got->failed, 2u);
+    EXPECT_EQ(got->downgrades, 1u);
+    EXPECT_EQ(got->diagnostics, v.diagnostics);
+
+    auto s = store.stats();
+    EXPECT_EQ(s.verdict_hits, 1u);
+    EXPECT_EQ(s.verdict_misses, 1u);
+    EXPECT_EQ(s.verdict_stores, 1u);
+    EXPECT_EQ(s.corrupt_discarded, 0u);
+
+    // Reopening (fresh process) sees the same record.
+    ArtifactStore reopened({store_dir(), 1024});
+    ASSERT_TRUE(reopened.open(error)) << error;
+    ASSERT_TRUE(reopened.load_verdict(fp).has_value());
+}
+
+TEST_F(IncrTest, CorruptVerdictIsDiscardedNotReplayed) {
+    ArtifactStore store({store_dir(), 1024});
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+
+    std::string fp = sha256_hex("doomed");
+    StoredVerdict v;
+    v.secure = true;
+    v.obligations = 3;
+    ASSERT_TRUE(store.store_verdict(fp, v));
+
+    // Flip one payload byte: checksum mismatch → discarded and deleted.
+    fs::path file;
+    for (const auto& e :
+         fs::recursive_directory_iterator(fs::path(store_dir()) / "v1" /
+                                          "verdicts"))
+        if (e.is_regular_file())
+            file = e.path();
+    ASSERT_FALSE(file.empty());
+    {
+        std::fstream f(file, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(
+            std::string(incr::kStoreFormat).size() + 10));
+        f.put('X');
+    }
+    EXPECT_FALSE(store.load_verdict(fp).has_value());
+    EXPECT_EQ(store.stats().corrupt_discarded, 1u);
+    EXPECT_FALSE(fs::exists(file));
+
+    // Truncation likewise fails closed.
+    ASSERT_TRUE(store.store_verdict(fp, v));
+    fs::resize_file(fs::path(store_dir()) / "v1" / "verdicts" /
+                        fp.substr(0, 2) / fp,
+                    12);
+    EXPECT_FALSE(store.load_verdict(fp).has_value());
+    EXPECT_EQ(store.stats().corrupt_discarded, 2u);
+}
+
+TEST_F(IncrTest, VersionMismatchedStoreIsRebuilt) {
+    ArtifactStore store({store_dir(), 1024});
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+    std::string fp = sha256_hex("old generation");
+    ASSERT_TRUE(store.store_verdict(fp, {}));
+
+    ASSERT_TRUE(write_file_atomic(
+        (fs::path(store_dir()) / "v1" / "FORMAT").string(),
+        "svlc-store/v999\n"));
+
+    ArtifactStore next({store_dir(), 1024});
+    ASSERT_TRUE(next.open(error)) << error;
+    EXPECT_EQ(next.stats().corrupt_discarded, 1u);
+    EXPECT_FALSE(next.load_verdict(fp).has_value()); // wiped, not misread
+    // And the store is usable again immediately.
+    ASSERT_TRUE(next.store_verdict(fp, {}));
+    EXPECT_TRUE(next.load_verdict(fp).has_value());
+}
+
+// --- entailment-cache persistence ------------------------------------------
+
+TEST_F(IncrTest, EntailCachePersistsAcrossStores) {
+    solver::EntailCache cache;
+    cache.insert("key-one\nwith newline", {100});
+    cache.insert("key-two", {200});
+
+    ArtifactStore store({store_dir(), 1024});
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+    EXPECT_EQ(store.flush_entail(cache), 2u);
+
+    solver::EntailCache warm;
+    ArtifactStore reopened({store_dir(), 1024});
+    ASSERT_TRUE(reopened.open(error)) << error;
+    EXPECT_EQ(reopened.load_entail(warm), 2u);
+    auto one = warm.lookup("key-one\nwith newline");
+    auto two = warm.lookup("key-two");
+    ASSERT_TRUE(one.has_value());
+    ASSERT_TRUE(two.has_value());
+    EXPECT_EQ(one->candidates, 100u);
+    EXPECT_EQ(two->candidates, 200u);
+}
+
+TEST_F(IncrTest, EntailBudgetEvictsOldestFirst) {
+    ArtifactStore store({store_dir(), 6});
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+
+    solver::EntailCache first;
+    for (int i = 0; i < 5; ++i)
+        first.insert("old-" + std::to_string(i), {1});
+    EXPECT_EQ(store.flush_entail(first), 5u);
+
+    solver::EntailCache second;
+    for (int i = 0; i < 5; ++i)
+        second.insert("new-" + std::to_string(i), {2});
+    // 5 old + 5 new = 10, budget 6 → the 4 oldest (file front) drop.
+    EXPECT_EQ(store.flush_entail(second), 6u);
+    EXPECT_EQ(store.stats().entail_evicted, 4u);
+
+    solver::EntailCache warm;
+    ArtifactStore reopened({store_dir(), 6});
+    ASSERT_TRUE(reopened.open(error)) << error;
+    EXPECT_EQ(reopened.load_entail(warm), 6u);
+    // Every new-generation entry survived; old ones were evicted first.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(warm.lookup("new-" + std::to_string(i)).has_value())
+            << i;
+    size_t old_survivors = 0;
+    for (int i = 0; i < 5; ++i)
+        old_survivors +=
+            warm.lookup("old-" + std::to_string(i)).has_value();
+    EXPECT_EQ(old_survivors, 1u);
+}
+
+TEST_F(IncrTest, CorruptEntailFileLoadsAsEmpty) {
+    ArtifactStore store({store_dir(), 1024});
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+    solver::EntailCache cache;
+    cache.insert("a-key", {1});
+    ASSERT_EQ(store.flush_entail(cache), 1u);
+
+    fs::path file = fs::path(store_dir()) / "v1" / "entail.cache";
+    fs::resize_file(file, 30);
+
+    solver::EntailCache warm;
+    EXPECT_EQ(store.load_entail(warm), 0u);
+    EXPECT_EQ(store.stats().corrupt_discarded, 1u);
+    EXPECT_EQ(warm.stats().entries, 0u);
+    // The next flush rebuilds the file from scratch.
+    EXPECT_EQ(store.flush_entail(cache), 1u);
+    solver::EntailCache again;
+    EXPECT_EQ(store.load_entail(again), 1u);
+}
+
+// --- driver integration ----------------------------------------------------
+
+TEST_F(IncrTest, SecondRunSkipsEverythingWithIdenticalVerdicts) {
+    std::string a = write("a.svlc", kSecure);
+    std::string b = write("b.svlc", kRejected);
+    std::string c = write("c.svlc", kModeSwitch);
+    std::vector<JobSpec> jobs = {{a, a, "", "", 0},
+                                 {b, b, "", "", 0},
+                                 {c, c, "", "", 0}};
+
+    DriverOptions opts;
+    opts.store_dir = store_dir();
+    VerificationDriver cold(opts);
+    BatchReport r1 = cold.run(jobs);
+    EXPECT_EQ(r1.skipped_count(), 0u);
+    EXPECT_TRUE(r1.store_enabled);
+    EXPECT_EQ(r1.store.verdict_stores, 3u);
+    ASSERT_EQ(r1.results.size(), 3u);
+    EXPECT_EQ(r1.results[0].status, JobStatus::Secure);
+    EXPECT_EQ(r1.results[1].status, JobStatus::Rejected);
+    EXPECT_EQ(r1.results[2].status, JobStatus::Secure);
+    EXPECT_EQ(r1.results[0].fingerprint.size(), 64u);
+
+    // Fresh driver = fresh process: every job replays from the store.
+    VerificationDriver warm(opts);
+    BatchReport r2 = warm.run(jobs);
+    EXPECT_EQ(r2.skipped_count(), 3u);
+    EXPECT_EQ(r2.store.verdict_hits, 3u);
+    for (const auto& r : r2.results) {
+        EXPECT_TRUE(r.skipped);
+        EXPECT_EQ(r.attempts, 0);
+        EXPECT_EQ(r.solver.queries, 0u); // pipeline never ran
+    }
+    // The verdict set — the stable report — is byte-identical.
+    EXPECT_EQ(r1.to_json(false), r2.to_json(false));
+    EXPECT_EQ(r1.summary().substr(0, r1.summary().find("solver:")),
+              r2.summary().substr(0, r2.summary().find("solver:")));
+    // The full report says *why* each job was skipped.
+    EXPECT_NE(r2.to_json(true).find("\"skipped\": \"fingerprint-hit\""),
+              std::string::npos);
+    // And the warm run reused the persisted entailment entries.
+    EXPECT_GT(r2.store.entail_loaded, 0u);
+}
+
+TEST_F(IncrTest, MutatingOneSourceReverifiesExactlyThatJob) {
+    std::string a = write("a.svlc", kSecure);
+    std::string c = write("c.svlc", kModeSwitch);
+    std::vector<JobSpec> jobs = {{a, a, "", "", 0}, {c, c, "", "", 0}};
+
+    DriverOptions opts;
+    opts.store_dir = store_dir();
+    VerificationDriver(opts).run(jobs);
+
+    // Mutate a.svlc into a rejected design.
+    write("a.svlc", kRejected);
+    VerificationDriver drv(opts);
+    BatchReport r = drv.run(jobs);
+    ASSERT_EQ(r.results.size(), 2u);
+    EXPECT_FALSE(r.results[0].skipped);
+    EXPECT_EQ(r.results[0].status, JobStatus::Rejected);
+    EXPECT_TRUE(r.results[1].skipped);
+    EXPECT_EQ(r.results[1].status, JobStatus::Secure);
+    EXPECT_EQ(r.skipped_count(), 1u);
+}
+
+TEST_F(IncrTest, CacheDisabledStillSkipsByFingerprint) {
+    std::string a = write("a.svlc", kSecure);
+    std::vector<JobSpec> jobs = {{a, a, "", "", 0}};
+    DriverOptions opts;
+    opts.store_dir = store_dir();
+    opts.use_cache = false; // verdict store works without the entail cache
+    VerificationDriver(opts).run(jobs);
+    BatchReport r = VerificationDriver(opts).run(jobs);
+    EXPECT_EQ(r.skipped_count(), 1u);
+    EXPECT_EQ(r.store.entail_loaded, 0u);
+}
+
+TEST_F(IncrTest, ErrorsAndTimeoutsAreNeverPersisted) {
+    std::string missing = (dir_ / "missing.svlc").string();
+    std::vector<JobSpec> jobs = {{missing, missing, "", "", 0}};
+    DriverOptions opts;
+    opts.store_dir = store_dir();
+    VerificationDriver(opts).run(jobs);
+    BatchReport r = VerificationDriver(opts).run(jobs);
+    EXPECT_EQ(r.skipped_count(), 0u);
+    EXPECT_EQ(r.results[0].status, JobStatus::Error);
+
+    JobSpec slow;
+    ASSERT_TRUE(driver::builtin_job("labeled", slow));
+    slow.timeout_ms = 1; // guaranteed deadline expiry
+    BatchReport t1 = VerificationDriver(opts).run({slow});
+    ASSERT_EQ(t1.results[0].status, JobStatus::Timeout);
+    BatchReport t2 = VerificationDriver(opts).run({slow});
+    EXPECT_FALSE(t2.results[0].skipped); // timeout was not replayed
+}
+
+TEST_F(IncrTest, WatchRunsIterationsAndStops) {
+    write("a.svlc", kSecure);
+    write("b.svlc", kRejected);
+
+    driver::WatchOptions opts;
+    opts.driver.store_dir = store_dir();
+    opts.interval_ms = 1;
+    opts.max_iterations = 2;
+
+    fs::path log = dir_ / "watch.log";
+    std::FILE* out = std::fopen(log.string().c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    int rc = driver::run_watch(dir_.string(), opts, out, out);
+    std::fclose(out);
+    EXPECT_EQ(rc, 0);
+
+    std::string text;
+    ASSERT_TRUE(read_file(log.string(), text));
+    EXPECT_NE(text.find("2/2 job(s) dirty"), std::string::npos);
+    EXPECT_NE(text.find("[watch #2] clean"), std::string::npos);
+
+    // A missing target is a usage error on the first iteration.
+    std::FILE* devnull = std::fopen(log.string().c_str(), "w");
+    EXPECT_EQ(driver::run_watch((dir_ / "nope").string(), opts, devnull,
+                                devnull),
+              2);
+    std::fclose(devnull);
+}
+
+} // namespace
+} // namespace svlc::test

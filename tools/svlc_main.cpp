@@ -9,9 +9,13 @@
 //   svlc dump-cpu <labeled|baseline|vulnerable|quad> [outfile]
 //   svlc batch <manifest|dir|file.svlc|builtin:V> [--jobs N] [--json F]
 //              [--timeout-ms T] [--no-cache] [--warm] [--cpus]
+//              [--store DIR] [--no-store]
+//   svlc watch <manifest|dir|file.svlc|builtin:V> [--store DIR]
+//              [--interval-ms T] [--iterations N] [--jobs N] [--cpus]
 #include "check/typecheck.hpp"
 #include "codegen/verilog.hpp"
 #include "driver/driver.hpp"
+#include "driver/watch.hpp"
 #include "parse/parser.hpp"
 #include "proc/assembler.hpp"
 #include "proc/isa.hpp"
@@ -44,6 +48,10 @@ int usage() {
                  "  svlc batch <manifest|dir|file.svlc|builtin:V> [--jobs N]\n"
                  "             [--json out.json] [--timeout-ms T] [--no-cache]\n"
                  "             [--warm] [--cpus] [--classic] [--no-hold]\n"
+                 "             [--store DIR] [--no-store]\n"
+                 "  svlc watch <manifest|dir|file.svlc|builtin:V> [--store DIR]\n"
+                 "             [--interval-ms T] [--iterations N] [--jobs N]\n"
+                 "             [--cpus] [--classic] [--no-hold]\n"
                  "  svlc emit-verilog <file.svlc> [--top M] [--compat]\n"
                  "  svlc sim <file.svlc> [--top M] --cycles N [--set in=val]...\n"
                  "           [--vcd out.vcd] [--watch net]...\n"
@@ -79,6 +87,12 @@ struct Args {
     bool no_cache = false;
     bool warm = false;
     bool cpus = false;
+    // batch/watch persistent store
+    std::string store_dir;
+    bool no_store = false;
+    // watch
+    uint64_t interval_ms = 500;
+    uint64_t iterations = 0;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -181,6 +195,33 @@ bool parse_args(int argc, char** argv, Args& args) {
             }
         } else if (arg == "--no-cache") {
             args.no_cache = true;
+        } else if (arg == "--store") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.store_dir = v;
+        } else if (arg == "--no-store") {
+            args.no_store = true;
+        } else if (arg == "--interval-ms") {
+            const char* v = next();
+            if (!v)
+                return false;
+            char* end = nullptr;
+            args.interval_ms = std::strtoull(v, &end, 0);
+            if (!*v || *end) {
+                std::fprintf(stderr, "--interval-ms: bad value '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--iterations") {
+            const char* v = next();
+            if (!v)
+                return false;
+            char* end = nullptr;
+            args.iterations = std::strtoull(v, &end, 0);
+            if (!*v || *end) {
+                std::fprintf(stderr, "--iterations: bad count '%s'\n", v);
+                return false;
+            }
         } else if (arg == "--warm") {
             args.warm = true;
         } else if (arg == "--cpus") {
@@ -244,17 +285,25 @@ int cmd_check(const Args& args) {
     }
     if (args.stats) {
         const auto& s = result.solver_stats;
+        // hit_rate is printed with fixed 2-decimal precision (not default
+        // float formatting) so the stats line is byte-stable across
+        // platforms and libc versions.
+        double hit_rate =
+            s.queries ? static_cast<double>(s.syntactic_hits + s.cache_hits) /
+                            static_cast<double>(s.queries)
+                      : 0.0;
         std::fprintf(stderr,
                      "solver stats: %llu queries, %llu syntactic hits, "
                      "%llu enumerations, %llu candidates (avg %.1f per "
-                     "enumeration)\n",
+                     "enumeration), hit_rate %.2f\n",
                      static_cast<unsigned long long>(s.queries),
                      static_cast<unsigned long long>(s.syntactic_hits),
                      static_cast<unsigned long long>(s.enumerations),
                      static_cast<unsigned long long>(s.total_candidates),
                      s.enumerations ? static_cast<double>(s.total_candidates) /
                                           static_cast<double>(s.enumerations)
-                                    : 0.0);
+                                    : 0.0,
+                     hit_rate);
     }
     return result.ok ? 0 : 1;
 }
@@ -276,6 +325,8 @@ int cmd_batch(const Args& args) {
     opts.jobs = args.jobs;
     opts.timeout_ms = args.timeout_ms;
     opts.use_cache = !args.no_cache;
+    if (!args.no_store)
+        opts.store_dir = args.store_dir;
     if (args.classic)
         opts.check.mode = check::CheckerMode::ClassicSecVerilog;
     opts.check.hold_obligations = !args.no_hold;
@@ -299,6 +350,16 @@ int cmd_batch(const Args& args) {
                  static_cast<unsigned long long>(report.cache.misses),
                  report.cache.hit_rate() * 100.0,
                  static_cast<unsigned long long>(report.cache.entries));
+    if (report.store_enabled)
+        std::fprintf(
+            stderr,
+            "store: %zu skipped via fingerprint, %llu stored, %llu entail "
+            "entries loaded / %llu flushed, %llu corrupt discarded\n",
+            report.skipped_count(),
+            static_cast<unsigned long long>(report.store.verdict_stores),
+            static_cast<unsigned long long>(report.store.entail_loaded),
+            static_cast<unsigned long long>(report.store.entail_flushed),
+            static_cast<unsigned long long>(report.store.corrupt_discarded));
     if (!args.json_path.empty()) {
         std::ofstream out(args.json_path);
         if (!out) {
@@ -312,6 +373,22 @@ int cmd_batch(const Args& args) {
     // Rejected designs are a successful verification outcome; only
     // infrastructure failures (error/timeout) fail the batch.
     return report.all_ran() ? 0 : 1;
+}
+
+int cmd_watch(const Args& args) {
+    driver::WatchOptions opts;
+    opts.driver.jobs = args.jobs;
+    opts.driver.timeout_ms = args.timeout_ms;
+    opts.driver.use_cache = !args.no_cache;
+    if (!args.no_store)
+        opts.driver.store_dir = args.store_dir;
+    if (args.classic)
+        opts.driver.check.mode = check::CheckerMode::ClassicSecVerilog;
+    opts.driver.check.hold_obligations = !args.no_hold;
+    opts.interval_ms = args.interval_ms;
+    opts.max_iterations = args.iterations;
+    opts.include_cpus = args.cpus;
+    return driver::run_watch(args.file, opts, stdout, stderr);
 }
 
 int cmd_emit(const Args& args) {
@@ -540,6 +617,8 @@ int main(int argc, char** argv) {
         return cmd_check(args);
     if (args.command == "batch")
         return cmd_batch(args);
+    if (args.command == "watch")
+        return cmd_watch(args);
     if (args.command == "emit-verilog")
         return cmd_emit(args);
     if (args.command == "sim")
