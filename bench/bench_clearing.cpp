@@ -8,6 +8,7 @@
 #include "proc/assembler.hpp"
 #include "proc/sources.hpp"
 #include "proc/testbench.hpp"
+#include "sem/wellformed.hpp"
 #include "verify/noninterference.hpp"
 #include "xform/clearing.hpp"
 

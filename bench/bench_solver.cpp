@@ -1,13 +1,21 @@
 // E11b: the entailment engine — microbenchmarks of the decision
 // procedure that discharges C(•η) ⇒ τ⊔pc ⊑ τ' (syntactic fast path vs
-// dependency-closed enumeration), and the enumeration-budget sweep.
+// dependency-closed enumeration), the enumeration-budget sweep, and the
+// enum-vs-prune backend comparison over the hdl/ corpus (emitted as
+// BENCH_solver.json for CI dashboards).
 #include "bench_util.hpp"
+#include "driver/driver.hpp"
 #include "sem/updates.hpp"
 #include "solver/entail.hpp"
+#include "support/fsutil.hpp"
+#include "support/json.hpp"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace {
 
@@ -59,6 +67,140 @@ void print_table() {
                               static_cast<double>(st.enumerations)
                         : 0.0);
     }
+}
+
+// --- enum vs prune over the corpus -----------------------------------------
+
+/// Every design the backend comparison runs: the on-disk hdl/ corpus, the
+/// four built-in processor variants, and two enumeration-heavy synthetic
+/// guard chains.
+std::vector<driver::JobSpec> corpus_jobs() {
+    std::vector<driver::JobSpec> jobs;
+    std::string error;
+#ifdef SVLC_HDL_DIR
+    driver::jobs_from_directory(SVLC_HDL_DIR, jobs, error);
+#endif
+    auto cpus = driver::builtin_cpu_jobs();
+    jobs.insert(jobs.end(), std::make_move_iterator(cpus.begin()),
+                std::make_move_iterator(cpus.end()));
+    for (int depth : {4, 8}) {
+        driver::JobSpec j;
+        j.name = "synthetic:guard-chain-" + std::to_string(depth);
+        j.source = chained_guard(depth);
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+struct BackendRun {
+    double total_ms = 0;     ///< summed per-obligation solver time
+    size_t obligations = 0;
+    uint64_t candidates = 0; ///< enumeration candidates visited
+    std::vector<double> per_ob_ms;
+};
+
+double percentile(std::vector<double> v, double p) {
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    size_t i = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+    return v[i];
+}
+
+BackendRun run_corpus(solver::BackendKind kind,
+                      const std::vector<driver::JobSpec>& jobs) {
+    BackendRun run;
+    for (const driver::JobSpec& job : jobs) {
+        std::string text = job.source;
+        if (text.empty() && !read_file(job.path, text))
+            continue;
+        pipeline::CompilationOptions opts;
+        opts.top = job.top;
+        opts.check.solver.backend = kind;
+        pipeline::Compilation comp(std::move(opts));
+        comp.load_text(text, job.name);
+        const check::CheckResult* res = comp.check();
+        if (!res)
+            continue;
+        for (const check::Obligation& ob : res->obligations) {
+            run.per_ob_ms.push_back(ob.solve_ms);
+            run.total_ms += ob.solve_ms;
+            run.candidates += ob.result.candidates;
+        }
+        run.obligations += res->obligations.size();
+    }
+    return run;
+}
+
+void write_backend(JsonWriter& w, const char* id, const BackendRun& r) {
+    w.key(id).begin_object();
+    w.kv("total_ms", r.total_ms, 3);
+    w.kv("obligations", r.obligations);
+    w.kv("candidates", r.candidates);
+    w.kv("p50_ms", percentile(r.per_ob_ms, 0.50), 4);
+    w.kv("p95_ms", percentile(r.per_ob_ms, 0.95), 4);
+    w.end_object();
+}
+
+void backend_comparison() {
+    svlc::bench::heading(
+        "E11c: pluggable entailment backends over the verification corpus",
+        "the pruning backend (unit propagation + stride jumps + memoized\n"
+        "subterms) visits strictly fewer candidates than the reference "
+        "enumeration\nwhile returning identical verdicts and witnesses");
+
+    std::vector<driver::JobSpec> jobs = corpus_jobs();
+    // One untimed warm-up per backend, then keep the best of three reps so
+    // the table isn't dominated by first-touch allocator noise.
+    BackendRun enum_run, prune_run;
+    constexpr int kReps = 3;
+    for (int rep = -1; rep < kReps; ++rep) {
+        BackendRun e = run_corpus(solver::BackendKind::Enum, jobs);
+        BackendRun p = run_corpus(solver::BackendKind::Prune, jobs);
+        if (rep < 0)
+            continue; // warm-up
+        if (rep == 0 || e.total_ms < enum_run.total_ms)
+            enum_run = std::move(e);
+        if (rep == 0 || p.total_ms < prune_run.total_ms)
+            prune_run = std::move(p);
+    }
+
+    std::printf("%-10s %12s %12s %12s %12s %12s\n", "backend", "total ms",
+                "obligations", "candidates", "p50 us", "p95 us");
+    auto print_row = [](const char* id, const BackendRun& r) {
+        std::printf("%-10s %12.3f %12zu %12llu %12.2f %12.2f\n", id,
+                    r.total_ms, r.obligations,
+                    static_cast<unsigned long long>(r.candidates),
+                    percentile(r.per_ob_ms, 0.50) * 1e3,
+                    percentile(r.per_ob_ms, 0.95) * 1e3);
+    };
+    print_row("enum", enum_run);
+    print_row("prune", prune_run);
+    std::printf("speedup (enum/prune total): %.2fx,  candidates pruned: "
+                "%.1f%%\n",
+                prune_run.total_ms > 0 ? enum_run.total_ms / prune_run.total_ms
+                                       : 0.0,
+                enum_run.candidates
+                    ? 100.0 *
+                          (1.0 - static_cast<double>(prune_run.candidates) /
+                                     static_cast<double>(enum_run.candidates))
+                    : 0.0);
+
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "svlc-bench-solver/v1");
+    w.kv("designs", jobs.size());
+    w.key("backends").begin_object();
+    write_backend(w, "enum", enum_run);
+    write_backend(w, "prune", prune_run);
+    w.end_object();
+    w.kv("speedup",
+         prune_run.total_ms > 0 ? enum_run.total_ms / prune_run.total_ms : 0.0,
+         3);
+    w.end_object();
+    std::ofstream out("BENCH_solver.json");
+    out << w.str() << "\n";
+    std::printf("wrote BENCH_solver.json\n");
 }
 
 void bm_entailment_query(benchmark::State& state) {
@@ -119,6 +261,7 @@ BENCHMARK(bm_build_equations_cpu_scale);
 
 int main(int argc, char** argv) {
     print_table();
+    backend_comparison();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -5,11 +5,7 @@
 #pragma once
 
 #include "check/typecheck.hpp"
-#include "parse/parser.hpp"
-#include "sem/elaborate.hpp"
-#include "sem/wellformed.hpp"
-#include "support/diagnostics.hpp"
-#include "support/source_manager.hpp"
+#include "pipeline/compilation.hpp"
 
 #include <cstdio>
 #include <memory>
@@ -18,22 +14,27 @@
 
 namespace svlc::bench {
 
-inline std::unique_ptr<hir::Design> compile(const std::string& text,
-                                            const std::string& top = "") {
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    ast::CompilationUnit unit = Parser::parse_text(text, sm, diags);
-    sem::ElaborateOptions opts;
+/// Handle returned by compile(): dereferences to the elaborated design
+/// while keeping the owning pipeline::Compilation (sources, diagnostics)
+/// alive behind it.
+struct CompiledDesign {
+    std::unique_ptr<pipeline::Compilation> comp;
+    hir::Design& operator*() { return *comp->design(); }
+    hir::Design* operator->() { return comp->design(); }
+    const hir::Design& operator*() const { return *comp->design(); }
+    const hir::Design* operator->() const { return comp->design(); }
+};
+
+inline CompiledDesign compile(const std::string& text,
+                              const std::string& top = "") {
+    pipeline::CompilationOptions opts;
     opts.top = top;
-    std::unique_ptr<hir::Design> design;
-    if (!diags.has_errors())
-        design = sem::elaborate(unit, diags, opts);
-    if (design)
-        sem::analyze_wellformed(*design, diags);
-    if (!design || diags.has_errors())
+    auto comp = std::make_unique<pipeline::Compilation>(std::move(opts));
+    comp->load_text(text, "<bench>");
+    if (!comp->elaborate())
         throw std::runtime_error("bench design failed to compile:\n" +
-                                 diags.render());
-    return design;
+                                 comp->render_diagnostics());
+    return {std::move(comp)};
 }
 
 inline check::CheckResult check(const hir::Design& design,

@@ -7,9 +7,7 @@
 //
 // Build & run:  ./build/examples/mode_switch
 #include "check/typecheck.hpp"
-#include "parse/parser.hpp"
-#include "sem/elaborate.hpp"
-#include "sem/wellformed.hpp"
+#include "pipeline/compilation.hpp"
 #include "sim/simulator.hpp"
 
 #include <cstdio>
@@ -61,17 +59,18 @@ endmodule
 } // namespace
 
 int main() {
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    ast::CompilationUnit unit = Parser::parse_text(kFig4, sm, diags);
-    auto design = sem::elaborate(unit, diags);
-    if (!design || !sem::analyze_wellformed(*design, diags)) {
-        std::printf("structural errors:\n%s", diags.render().c_str());
+    pipeline::Compilation comp;
+    comp.load_text(kFig4, "fig4.svlc");
+    const check::CheckResult* checked = comp.check();
+    if (!checked) {
+        std::printf("structural errors:\n%s",
+                    comp.render_diagnostics().c_str());
         return 1;
     }
+    const hir::Design* design = comp.design();
 
     // SecVerilogLC accepts...
-    auto lc = check::check_design(*design, diags);
+    const check::CheckResult& lc = *checked;
     std::printf("SecVerilogLC verdict: %s (%zu obligations, %zu via the\n"
                 "cycle-aware enumeration, %zu downgrade site)\n\n",
                 lc.ok ? "ACCEPTED" : "REJECTED", lc.obligations.size(),
@@ -91,11 +90,13 @@ int main() {
                     static_cast<unsigned long long>(ob.result.candidates));
     }
 
-    // ...classic SecVerilog cannot.
-    DiagnosticEngine classic_diags(&sm);
-    check::CheckOptions classic;
-    classic.mode = check::CheckerMode::ClassicSecVerilog;
-    auto cv = check::check_design(*design, classic_diags, classic);
+    // ...classic SecVerilog cannot. A second Compilation carries the
+    // classic checker configuration.
+    pipeline::CompilationOptions classic;
+    classic.check.mode = check::CheckerMode::ClassicSecVerilog;
+    pipeline::Compilation classic_comp(std::move(classic));
+    classic_comp.load_text(kFig4, "fig4.svlc");
+    const check::CheckResult& cv = *classic_comp.check();
     std::printf("\nClassic SecVerilog verdict: %s (%zu of %zu obligations "
                 "fail without\ncycle-by-cycle reasoning)\n\n",
                 cv.ok ? "ACCEPTED" : "REJECTED", cv.failed,

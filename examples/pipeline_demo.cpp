@@ -7,6 +7,7 @@
 // Build & run:  ./build/examples/pipeline_demo
 #include "check/typecheck.hpp"
 #include "codegen/verilog.hpp"
+#include "pipeline/compilation.hpp"
 #include "proc/assembler.hpp"
 #include "proc/sources.hpp"
 #include "proc/testbench.hpp"
@@ -19,17 +20,19 @@ using namespace svlc::proc;
 
 int main() {
     // ----- 1. type-check --------------------------------------------------
-    const auto& design = labeled_cpu_design();
-    DiagnosticEngine diags;
-    auto result = check::check_design(*design, diags);
-    std::printf("labeled processor: %s — %zu proof obligations, "
-                "%zu explicit downgrades\n",
-                result.ok ? "type-checks" : "REJECTED",
-                result.obligations.size(), result.downgrade_count);
-    if (!result.ok) {
-        std::printf("%s", diags.render().c_str());
+    pipeline::Compilation comp;
+    comp.load_text(labeled_cpu_source(), "labeled_cpu.svlc");
+    const check::CheckResult* checked = comp.check();
+    if (!checked || !checked->ok) {
+        std::printf("labeled processor: REJECTED\n%s",
+                    comp.render_diagnostics().c_str());
         return 1;
     }
+    const check::CheckResult& result = *checked;
+    const hir::Design* design = comp.design();
+    std::printf("labeled processor: type-checks — %zu proof obligations, "
+                "%zu explicit downgrades\n",
+                result.obligations.size(), result.downgrade_count);
 
     // ----- 2. a syscall-with-arguments program ----------------------------
     const char* kernel_src = R"(

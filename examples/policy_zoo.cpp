@@ -5,9 +5,7 @@
 //
 // Build & run:  ./build/examples/policy_zoo
 #include "check/typecheck.hpp"
-#include "parse/parser.hpp"
-#include "sem/elaborate.hpp"
-#include "sem/wellformed.hpp"
+#include "pipeline/compilation.hpp"
 #include "verify/noninterference.hpp"
 
 #include <cstdio>
@@ -19,21 +17,20 @@ namespace {
 
 check::CheckResult check_text(const char* title, const std::string& text,
                               bool expect_ok) {
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    auto unit = Parser::parse_text(text, sm, diags);
-    auto design = sem::elaborate(unit, diags);
-    if (!design || !sem::analyze_wellformed(*design, diags)) {
+    pipeline::Compilation comp;
+    comp.load_text(text, "policy-zoo.svlc");
+    const check::CheckResult* checked = comp.check();
+    if (!checked) {
         std::printf("%s: structural errors\n%s", title,
-                    diags.render().c_str());
+                    comp.render_diagnostics().c_str());
         return {};
     }
-    auto result = check::check_design(*design, diags);
+    const check::CheckResult& result = *checked;
     std::printf("%-52s %s%s\n", title,
                 result.ok ? "ACCEPTED" : "REJECTED",
                 result.ok == expect_ok ? "" : "  << UNEXPECTED");
     if (!result.ok && !expect_ok) {
-        for (const auto& d : diags.diagnostics())
+        for (const auto& d : comp.diags().diagnostics())
             if (d.severity == Severity::Error) {
                 std::printf("    %s\n", d.message.c_str());
                 break;
@@ -149,11 +146,9 @@ int main() {
 
     // Dynamic cross-check of the accepted confidentiality design: a
     // public observer must learn nothing about the secret key.
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    auto unit = Parser::parse_text(kConfidentiality, sm, diags);
-    auto design = sem::elaborate(unit, diags);
-    sem::analyze_wellformed(*design, diags);
+    pipeline::Compilation comp;
+    comp.load_text(kConfidentiality, "policy-zoo.svlc");
+    const hir::Design* design = comp.elaborate();
     verify::NIConfig cfg;
     cfg.observer = *design->policy.lattice().find("P");
     cfg.cycles = 128;

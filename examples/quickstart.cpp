@@ -7,34 +7,15 @@
 //
 // Build & run:  ./build/examples/quickstart
 #include "check/typecheck.hpp"
-#include "parse/parser.hpp"
-#include "sem/elaborate.hpp"
-#include "sem/wellformed.hpp"
+#include "pipeline/compilation.hpp"
 #include "sim/simulator.hpp"
 
 #include <cstdio>
-#include <memory>
 #include <string>
 
 using namespace svlc;
 
 namespace {
-
-/// parse -> elaborate -> analyze; returns nullptr and prints diagnostics
-/// on structural errors.
-std::unique_ptr<hir::Design> compile(const std::string& text,
-                                     SourceManager& sm,
-                                     DiagnosticEngine& diags) {
-    ast::CompilationUnit unit = Parser::parse_text(text, sm, diags);
-    if (diags.has_errors())
-        return nullptr;
-    auto design = sem::elaborate(unit, diags);
-    if (!design)
-        return nullptr;
-    if (!sem::analyze_wellformed(*design, diags))
-        return nullptr;
-    return design;
-}
 
 const char* kInsecure = R"(
 lattice { level T; level U; flow T -> U; }
@@ -67,8 +48,8 @@ module demo(input com {T} grant,
 endmodule
 )";
 
-void report(const char* title, const check::CheckResult& result,
-            const DiagnosticEngine& diags) {
+void report(const char* title, const pipeline::Compilation& comp,
+            const check::CheckResult& result) {
     std::printf("== %s ==\n", title);
     std::printf("   obligations: %zu, failed: %zu, downgrades: %zu\n",
                 result.obligations.size(), result.failed,
@@ -76,7 +57,7 @@ void report(const char* title, const check::CheckResult& result,
     std::printf("   verdict: %s\n", result.ok ? "SECURE (type-checks)"
                                               : "REJECTED");
     if (!result.ok)
-        std::printf("%s", diags.render().c_str());
+        std::printf("%s", comp.render_diagnostics().c_str());
 }
 
 } // namespace
@@ -84,31 +65,30 @@ void report(const char* title, const check::CheckResult& result,
 int main() {
     // ----- 1. an insecure design is rejected with a counterexample -----
     {
-        SourceManager sm;
-        DiagnosticEngine diags(&sm);
-        auto design = compile(kInsecure, sm, diags);
-        if (!design) {
+        pipeline::Compilation comp;
+        comp.load_text(kInsecure, "quickstart-insecure.svlc");
+        const check::CheckResult* result = comp.check();
+        if (!result) {
             std::printf("unexpected structural errors:\n%s",
-                        diags.render().c_str());
+                        comp.render_diagnostics().c_str());
             return 1;
         }
-        auto result = check::check_design(*design, diags);
-        report("insecure flow U -> T", result, diags);
+        report("insecure flow U -> T", comp, *result);
     }
 
     // ----- 2. a mutable-dependent-label design passes ------------------
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    auto design = compile(kSecure, sm, diags);
-    if (!design) {
+    pipeline::Compilation comp;
+    comp.load_text(kSecure, "quickstart-secure.svlc");
+    const check::CheckResult* result = comp.check();
+    if (!result) {
         std::printf("unexpected structural errors:\n%s",
-                    diags.render().c_str());
+                    comp.render_diagnostics().c_str());
         return 1;
     }
-    auto result = check::check_design(*design, diags);
-    report("shared register with mutable dependent label", result, diags);
-    if (!result.ok)
+    report("shared register with mutable dependent label", comp, *result);
+    if (!result->ok)
         return 1;
+    const hir::Design* design = comp.design();
 
     // ----- 3. watch the label change at run time -----------------------
     sim::Simulator sim(*design);

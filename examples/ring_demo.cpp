@@ -6,6 +6,7 @@
 //
 // Build & run:  ./build/examples/ring_demo
 #include "check/typecheck.hpp"
+#include "pipeline/compilation.hpp"
 #include "proc/assembler.hpp"
 #include "proc/sources.hpp"
 #include "proc/testbench.hpp"
@@ -17,17 +18,21 @@ using namespace svlc;
 using namespace svlc::proc;
 
 int main() {
-    auto design = compile_cpu(quad_core_source(), "quad");
-    DiagnosticEngine diags;
-    auto verdict = check::check_design(*design, diags);
-    std::printf("quad-core ring platform: %s — %zu obligations, "
-                "%zu downgrades (3 per core)\n",
-                verdict.ok ? "type-checks" : "REJECTED",
-                verdict.obligations.size(), verdict.downgrade_count);
-    if (!verdict.ok) {
-        std::printf("%s", diags.render().c_str());
+    pipeline::CompilationOptions popts;
+    popts.top = "quad";
+    pipeline::Compilation comp(std::move(popts));
+    comp.load_text(quad_core_source(), "quad.svlc");
+    const check::CheckResult* checked = comp.check();
+    if (!checked || !checked->ok) {
+        std::printf("quad-core ring platform: REJECTED\n%s",
+                    comp.render_diagnostics().c_str());
         return 1;
     }
+    const check::CheckResult& verdict = *checked;
+    const hir::Design* design = comp.design();
+    std::printf("quad-core ring platform: type-checks — %zu obligations, "
+                "%zu downgrades (3 per core)\n",
+                verdict.obligations.size(), verdict.downgrade_count);
 
     // Core 0 originates a token; every core adds its own stamp and
     // forwards. After one lap the token carries all four stamps.

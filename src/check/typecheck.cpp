@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <map>
 #include <sstream>
 
 namespace svlc::check {
+
+const char* obligation_kind_name(ObligationKind kind) {
+    switch (kind) {
+    case ObligationKind::CombAssign:
+        return "com";
+    case ObligationKind::SeqAssign:
+        return "seq";
+    case ObligationKind::Hold:
+        return "hold";
+    }
+    return "com";
+}
 
 using namespace hir;
 using solver::EntailmentEngine;
@@ -52,6 +65,8 @@ private:
     void discharge(ObligationKind kind, SourceLoc loc, NetId target,
                    const SolverLabel& lhs, const SolverLabel& rhs,
                    const std::vector<const Expr*>& facts);
+    std::string next_obligation_id(ObligationKind kind, NetId target);
+    void note_witness(const solver::Witness& w, SourceLoc loc);
 
     bool uses_next(const Expr& e) const;
 
@@ -61,6 +76,8 @@ private:
     sem::Equations eqs_;
     EntailmentEngine engine_;
     CheckResult result_;
+    /// Per-(net, kind) obligation ordinals, for stable ids.
+    std::map<std::pair<NetId, ObligationKind>, size_t> site_counters_;
 };
 
 bool Checker::uses_next(const Expr& e) const {
@@ -104,6 +121,27 @@ SolverLabel Checker::label_of(const Expr& e) {
     }
 }
 
+std::string Checker::next_obligation_id(ObligationKind kind, NetId target) {
+    size_t site = site_counters_[{target, kind}]++;
+    return design_.top_name + ":" + design_.net(target).name + ":" +
+           obligation_kind_name(kind) + ":" + std::to_string(site);
+}
+
+void Checker::note_witness(const solver::Witness& w, SourceLoc loc) {
+    // One note per witness variable, anchored at that net's declaration
+    // so the renderer shows where each signal in the violating assignment
+    // lives; the joint valuation is already inline in the error.
+    for (const auto& b : w.bindings) {
+        const Net& net = design_.net(b.net);
+        SourceLoc at = net.loc.valid() ? net.loc : loc;
+        diags_.note(DiagCode::IllegalFlow, at,
+                    "counterexample assigns " + net.name +
+                        (b.primed ? "' = " : " = ") +
+                        std::to_string(b.value.value()) +
+                        (b.primed ? " (next cycle)" : ""));
+    }
+}
+
 void Checker::discharge(ObligationKind kind, SourceLoc loc, NetId target,
                         const SolverLabel& lhs, const SolverLabel& rhs,
                         const std::vector<const Expr*>& facts) {
@@ -113,9 +151,14 @@ void Checker::discharge(ObligationKind kind, SourceLoc loc, NetId target,
     ob.kind = kind;
     ob.loc = loc;
     ob.target = target;
+    ob.id = next_obligation_id(kind, target);
     ob.lhs_label = lhs.str(design_);
     ob.rhs_label = rhs.str(design_);
+    auto t0 = std::chrono::steady_clock::now();
     ob.result = engine_.check_flow(lhs, rhs, facts);
+    ob.solve_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
     if (ob.result.timed_out) {
         // Deadline expired mid-check: drop this obligation (no diagnostic
         // — it was not decided) and stop discharging further ones.
@@ -153,6 +196,8 @@ void Checker::discharge(ObligationKind kind, SourceLoc loc, NetId target,
                     "; clear or endorse it on that label change" + why);
             break;
         }
+        if (ob.result.witness)
+            note_witness(*ob.result.witness, loc);
     }
     result_.obligations.push_back(std::move(ob));
 }
@@ -189,7 +234,8 @@ void Checker::walk(const Stmt& s, Context& ctx, ProcessKind kind) {
         ctx.owned.resize(owned_mark);
 
         if (s.else_stmt) {
-            ExprPtr neg = Expr::make_unary(UnaryOp::LogNot, s.cond->clone());
+            ExprPtr neg = Expr::make_unary(UnaryOp::LogNot, s.cond->clone(),
+                                           s.cond->loc);
             ctx.facts.push_back(neg.get());
             ctx.owned.push_back(std::move(neg));
             walk(*s.else_stmt, ctx, kind);
@@ -297,7 +343,8 @@ void Checker::check_hold_obligations() {
         std::vector<ExprPtr> owned;
         std::vector<const Expr*> facts;
         for (const Expr* g : neg_guards_src) {
-            ExprPtr neg = Expr::make_unary(UnaryOp::LogNot, g->clone());
+            ExprPtr neg = Expr::make_unary(UnaryOp::LogNot, g->clone(),
+                                           g->loc);
             facts.push_back(neg.get());
             owned.push_back(std::move(neg));
         }

@@ -46,13 +46,25 @@ struct CheckOptions {
 
 enum class ObligationKind { CombAssign, SeqAssign, Hold };
 
+/// Short stable name ("com" / "seq" / "hold"), used in obligation ids and
+/// JSON reports.
+const char* obligation_kind_name(ObligationKind kind);
+
 struct Obligation {
     ObligationKind kind;
     SourceLoc loc;
     hir::NetId target = hir::kInvalidNet;
+    /// Stable deterministic id: `<top>:<net>:<kind>:<site>` where <site>
+    /// numbers the obligations of this (net, kind) pair in checker walk
+    /// order. Invariant across runs, worker counts, and solver backends,
+    /// so reports diff cleanly.
+    std::string id;
     std::string lhs_label;
     std::string rhs_label;
     solver::EntailResult result;
+    /// Wall time spent deciding this obligation, for per-obligation
+    /// latency profiles (bench_solver).
+    double solve_ms = 0;
 };
 
 struct CheckResult {

@@ -1,0 +1,84 @@
+// Backend differential harness: the self-check behind the pluggable
+// solver. Both entailment backends must produce identical verification
+// verdicts on every design — status, per-obligation records, witnesses,
+// everything in the stable report subset. `svlc diff-backends` and CI run
+// this over the whole corpus; any diff fails the build.
+#include "driver/driver.hpp"
+
+#include <string>
+
+namespace svlc::driver {
+
+namespace {
+
+std::string witness_str(const pipeline::ObligationRecord& rec) {
+    std::string out;
+    for (const auto& b : rec.witness) {
+        out += b.net;
+        if (b.primed)
+            out += '\'';
+        out += '=';
+        out += std::to_string(b.value);
+        out += ' ';
+    }
+    return out;
+}
+
+void diff_job(const JobResult& e, const JobResult& p,
+              std::vector<BackendDiff>& out) {
+    auto add = [&](const std::string& field, std::string ev, std::string pv) {
+        out.push_back({e.name, field, std::move(ev), std::move(pv)});
+    };
+    if (e.status != p.status) {
+        add("status", job_status_name(e.status), job_status_name(p.status));
+        return; // per-obligation comparison is meaningless across statuses
+    }
+    if (e.obligations != p.obligations)
+        add("obligations", std::to_string(e.obligations),
+            std::to_string(p.obligations));
+    if (e.failed != p.failed)
+        add("failed", std::to_string(e.failed), std::to_string(p.failed));
+    if (e.flagged.size() != p.flagged.size()) {
+        add("flagged", std::to_string(e.flagged.size()),
+            std::to_string(p.flagged.size()));
+        return;
+    }
+    for (size_t i = 0; i < e.flagged.size(); ++i) {
+        const auto& er = e.flagged[i];
+        const auto& pr = p.flagged[i];
+        if (er.id != pr.id) {
+            add("flagged[" + std::to_string(i) + "].id", er.id, pr.id);
+            continue;
+        }
+        if (er.status != pr.status)
+            add(er.id, er.status, pr.status);
+        if (er.detail != pr.detail)
+            add(er.id + ".detail", er.detail, pr.detail);
+        std::string ew = witness_str(er), pw = witness_str(pr);
+        if (ew != pw)
+            add(er.id + ".witness", ew, pw);
+    }
+}
+
+} // namespace
+
+std::vector<BackendDiff> diff_backends(const std::vector<JobSpec>& jobs,
+                                       const DriverOptions& base) {
+    DriverOptions opts = base;
+    opts.store_dir.clear(); // never replay one backend's run as the other's
+
+    opts.check.solver.backend = solver::BackendKind::Enum;
+    VerificationDriver enum_driver(opts);
+    BatchReport enum_report = enum_driver.run(jobs);
+
+    opts.check.solver.backend = solver::BackendKind::Prune;
+    VerificationDriver prune_driver(opts);
+    BatchReport prune_report = prune_driver.run(jobs);
+
+    std::vector<BackendDiff> diffs;
+    for (size_t i = 0; i < jobs.size(); ++i)
+        diff_job(enum_report.results[i], prune_report.results[i], diffs);
+    return diffs;
+}
+
+} // namespace svlc::driver

@@ -1,13 +1,9 @@
 #include "driver/driver.hpp"
 
 #include "incr/fingerprint.hpp"
-#include "parse/parser.hpp"
+#include "pipeline/compilation.hpp"
 #include "proc/sources.hpp"
-#include "sem/elaborate.hpp"
-#include "sem/wellformed.hpp"
-#include "support/diagnostics.hpp"
 #include "support/fsutil.hpp"
-#include "support/source_manager.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -91,33 +87,28 @@ JobResult VerificationDriver::run_job_once(const JobSpec& spec,
         return res;
     };
 
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    ast::CompilationUnit unit =
-        Parser::parse_text(text, sm, diags, spec.name);
-    std::unique_ptr<hir::Design> design;
-    if (!diags.has_errors()) {
-        sem::ElaborateOptions eopts;
-        eopts.top = spec.top;
-        design = sem::elaborate(unit, diags, eopts);
-    }
-    if (design && !diags.has_errors())
-        sem::analyze_wellformed(*design, diags);
-    if (!design || diags.has_errors()) {
-        res.diagnostics = diags.render();
+    pipeline::CompilationOptions popts;
+    popts.top = spec.top;
+    popts.check = opts_.check;
+    popts.check.solver.deadline = deadline;
+    popts.check.solver.cache = opts_.use_cache ? &cache_ : nullptr;
+    pipeline::Compilation comp(popts);
+    comp.load_text(text, spec.name);
+    if (!comp.elaborate()) {
+        res.diagnostics = comp.render_diagnostics();
         return finish(JobStatus::Rejected);
     }
-
-    check::CheckOptions copts = opts_.check;
-    copts.solver.deadline = deadline;
-    copts.solver.cache = opts_.use_cache ? &cache_ : nullptr;
-    check::CheckResult cres = check::check_design(*design, diags, copts);
+    const check::CheckResult& cres = *comp.check();
 
     res.obligations = cres.obligations.size();
     res.failed = cres.failed;
     res.downgrades = cres.downgrade_count;
+    for (const check::Obligation& ob : cres.obligations)
+        if (!ob.result.proven())
+            res.flagged.push_back(pipeline::make_obligation_record(
+                ob, *comp.design(), &comp.sources()));
     res.solver = cres.solver_stats;
-    res.diagnostics = diags.render();
+    res.diagnostics = comp.render_diagnostics();
     if (cres.timed_out)
         return finish(JobStatus::Timeout);
     return finish(cres.ok ? JobStatus::Secure : JobStatus::Rejected);
@@ -150,6 +141,7 @@ JobResult VerificationDriver::run_job(const JobSpec& spec) {
             res.obligations = hit->obligations;
             res.failed = hit->failed;
             res.downgrades = hit->downgrades;
+            res.flagged = std::move(hit->flagged);
             res.diagnostics = hit->diagnostics;
             return res;
         }
@@ -175,6 +167,7 @@ JobResult VerificationDriver::run_job(const JobSpec& spec) {
                 v.failed = res.failed;
                 v.downgrades = res.downgrades;
                 v.diagnostics = res.diagnostics;
+                v.flagged = res.flagged;
                 store_->store_verdict(fp, v);
             }
             return res;
@@ -206,6 +199,7 @@ BatchReport VerificationDriver::run(const std::vector<JobSpec>& jobs) {
     report.cache_enabled = opts_.use_cache;
     report.store_enabled = store_ != nullptr;
     report.timeout_ms = opts_.timeout_ms;
+    report.solver_backend = solver::backend_id(opts_.check.solver.backend);
     report.results.resize(jobs.size());
 
     // Warm the in-memory entailment cache from disk once per driver;

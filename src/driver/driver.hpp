@@ -18,6 +18,7 @@
 
 #include "check/typecheck.hpp"
 #include "incr/store.hpp"
+#include "pipeline/compilation.hpp"
 #include "solver/entail_cache.hpp"
 
 #include <cstdint>
@@ -62,6 +63,9 @@ struct JobResult {
     size_t obligations = 0;
     size_t failed = 0;
     size_t downgrades = 0;
+    /// Per-obligation records for every non-proven obligation (stable
+    /// ids, verdicts, counterexample witnesses). Survives store replay.
+    std::vector<pipeline::ObligationRecord> flagged;
     solver::EntailmentEngine::Stats solver;
     /// Rendered diagnostics (with source snippets), empty when clean.
     std::string diagnostics;
@@ -97,6 +101,8 @@ struct BatchReport {
     bool store_enabled = false;
     size_t workers = 1;
     uint64_t timeout_ms = 0;
+    /// Entailment backend id ("enum"/"prune") the batch ran with.
+    std::string solver_backend;
     double wall_ms = 0.0;
 
     [[nodiscard]] size_t count(JobStatus s) const;
@@ -108,10 +114,12 @@ struct BatchReport {
     /// Aggregated solver stats over all jobs.
     [[nodiscard]] solver::EntailmentEngine::Stats solver_totals() const;
 
-    /// Machine-readable report (schema svlc-batch-report/v1). With
-    /// `full` off, timings and solver/cache telemetry are omitted and the
-    /// output depends only on the verification verdicts — byte-identical
-    /// across runs and worker counts.
+    /// Machine-readable report (schema svlc-batch-report/v2; v2 added
+    /// per-obligation records with stable ids and witnesses, and the
+    /// solver backend in the config block). With `full` off, timings and
+    /// solver/cache telemetry are omitted and the output depends only on
+    /// the verification verdicts — byte-identical across runs, worker
+    /// counts, and warm/cold store states.
     [[nodiscard]] std::string to_json(bool full = true) const;
     /// Human-readable per-job table + totals; deterministic (no timings).
     [[nodiscard]] std::string summary() const;
@@ -139,6 +147,27 @@ private:
     std::unique_ptr<incr::ArtifactStore> store_;
     bool store_loaded_ = false;
 };
+
+// --- backend differential harness ------------------------------------------
+
+/// One disagreement between the enum and prune entailment backends. Any
+/// instance is a backend-contract violation: the backends are required to
+/// be verdict- and witness-equivalent.
+struct BackendDiff {
+    std::string job;
+    /// What diverged: "status", "obligations", "failed", or a stable
+    /// obligation id (for per-obligation record mismatches).
+    std::string field;
+    std::string enum_value;
+    std::string prune_value;
+};
+
+/// Runs every job twice — once per entailment backend, each run with its
+/// own driver and cache, no persistent store — and returns every
+/// disagreement (empty = contract holds). `base` supplies checker budgets
+/// and worker count; its backend and store settings are overridden.
+std::vector<BackendDiff> diff_backends(const std::vector<JobSpec>& jobs,
+                                       const DriverOptions& base = {});
 
 // --- job discovery ---------------------------------------------------------
 

@@ -69,13 +69,14 @@ std::string BatchReport::to_json(bool full) const {
     // invariant across worker counts, cache population order, and runs.
     JsonWriter w;
     w.begin_object();
-    w.kv("schema", "svlc-batch-report/v1");
+    w.kv("schema", "svlc-batch-report/v2");
 
     if (full) {
         w.key("config").begin_object();
         w.kv("workers", workers);
         w.kv("timeout_ms", timeout_ms);
         w.kv("cache", cache_enabled);
+        w.kv("solver", solver_backend);
         w.end_object();
     }
 
@@ -88,6 +89,16 @@ std::string BatchReport::to_json(bool full) const {
         w.kv("failed", r.failed);
         w.kv("downgrades", r.downgrades);
         w.kv("diagnostics", r.diagnostics);
+        if (!r.flagged.empty()) {
+            // Non-proven obligations with stable ids and witnesses. Part
+            // of the stable subset: the records replay losslessly from
+            // the store, so warm and cold runs still agree byte-for-byte
+            // (solve_ms is run-dependent and only emitted with `full`).
+            w.key("flagged").begin_array();
+            for (const auto& rec : r.flagged)
+                pipeline::write_obligation_record(w, rec, full);
+            w.end_array();
+        }
         if (full) {
             // Skip provenance and telemetry are store/scheduling state,
             // not verdicts, so they stay out of the stable subset —

@@ -165,6 +165,27 @@ ArtifactStore::load_verdict(const std::string& fp) {
     v.failed = c.tagged_uint("failed");
     v.downgrades = c.tagged_uint("downgrades");
     v.diagnostics = c.bytes(c.tagged_uint("diag"));
+    uint64_t nflagged = c.tagged_uint("flagged");
+    for (uint64_t i = 0; c.ok && i < nflagged; ++i) {
+        pipeline::ObligationRecord rec;
+        rec.id = c.bytes(c.tagged_uint("id"));
+        rec.kind = c.bytes(c.tagged_uint("kind"));
+        rec.target = c.bytes(c.tagged_uint("target"));
+        rec.loc = c.bytes(c.tagged_uint("loc"));
+        rec.lhs = c.bytes(c.tagged_uint("lhs"));
+        rec.rhs = c.bytes(c.tagged_uint("rhs"));
+        rec.status = c.bytes(c.tagged_uint("status"));
+        rec.detail = c.bytes(c.tagged_uint("detail"));
+        uint64_t nwit = c.tagged_uint("wit");
+        for (uint64_t j = 0; c.ok && j < nwit; ++j) {
+            pipeline::ObligationRecord::Binding b;
+            b.net = c.bytes(c.tagged_uint("net"));
+            b.primed = c.tagged_uint("primed") != 0;
+            b.value = c.tagged_uint("value");
+            rec.witness.push_back(std::move(b));
+        }
+        v.flagged.push_back(std::move(rec));
+    }
     if (!c.ok || c.pos != payload->size()) {
         discard(verdict_path(fp));
         verdict_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -191,6 +212,32 @@ bool ArtifactStore::store_verdict(const std::string& fp,
                   v.diagnostics.size());
     payload += buf;
     payload += v.diagnostics;
+    // Flagged-obligation records: free text goes length-prefixed (same
+    // `tag <len>\n<bytes>` idiom as `diag`), numerics as tagged uints.
+    auto sized = [&payload](const char* tag, const std::string& s) {
+        payload += tag;
+        payload += ' ';
+        payload += std::to_string(s.size());
+        payload += '\n';
+        payload += s;
+    };
+    payload += "flagged " + std::to_string(v.flagged.size()) + '\n';
+    for (const auto& rec : v.flagged) {
+        sized("id", rec.id);
+        sized("kind", rec.kind);
+        sized("target", rec.target);
+        sized("loc", rec.loc);
+        sized("lhs", rec.lhs);
+        sized("rhs", rec.rhs);
+        sized("status", rec.status);
+        sized("detail", rec.detail);
+        payload += "wit " + std::to_string(rec.witness.size()) + '\n';
+        for (const auto& b : rec.witness) {
+            sized("net", b.net);
+            payload += b.primed ? "primed 1\n" : "primed 0\n";
+            payload += "value " + std::to_string(b.value) + '\n';
+        }
+    }
     if (!write_payload(path, "verdict", payload))
         return false;
     verdict_stores_.fetch_add(1, std::memory_order_relaxed);

@@ -33,25 +33,33 @@
 // thread at a time.
 #pragma once
 
+#include "pipeline/compilation.hpp"
 #include "solver/entail_cache.hpp"
 
 #include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace svlc::incr {
 
 inline constexpr const char* kStoreFormat = "svlc-store/v1";
 
 /// What a fingerprint hit replays: exactly the verdict-set fields of a
-/// batch-report entry (everything BatchReport::to_json(false) emits).
+/// batch-report entry (everything BatchReport::to_json(false) emits),
+/// including the per-obligation records of non-proven obligations so a
+/// replayed job's report is indistinguishable from a fresh run (timing
+/// fields excepted — they are zero on replay and never byte-compared).
 struct StoredVerdict {
     bool secure = false; ///< false = rejected (errors/timeouts not stored)
     uint64_t obligations = 0;
     uint64_t failed = 0;
     uint64_t downgrades = 0;
     std::string diagnostics;
+    /// Non-proven obligations (id, labels, witness, ...); empty for
+    /// secure designs.
+    std::vector<pipeline::ObligationRecord> flagged;
 };
 
 struct StoreOptions {

@@ -1,0 +1,134 @@
+#include "pipeline/compilation.hpp"
+
+#include "parse/parser.hpp"
+#include "sem/elaborate.hpp"
+#include "sem/wellformed.hpp"
+#include "support/fsutil.hpp"
+#include "support/json.hpp"
+
+namespace svlc::pipeline {
+
+Compilation::Compilation(CompilationOptions opts)
+    : opts_(std::move(opts)), diags_(&sm_) {}
+
+bool Compilation::load_file(const std::string& path) {
+    std::string text;
+    if (!read_file(path, text)) {
+        diags_.error(DiagCode::Unsupported, {},
+                     "cannot open '" + path + "'");
+        return false;
+    }
+    load_text(std::move(text), path);
+    return true;
+}
+
+void Compilation::load_text(std::string text, std::string name) {
+    text_ = std::move(text);
+    buffer_name_ = std::move(name);
+    loaded_ = true;
+}
+
+const hir::Design* Compilation::elaborate() {
+    if (!elaborated_) {
+        elaborated_ = true;
+        if (!loaded_) {
+            diags_.error(DiagCode::Unsupported, {},
+                         "no input loaded into compilation");
+            return nullptr;
+        }
+        ast::CompilationUnit unit =
+            Parser::parse_text(text_, sm_, diags_, buffer_name_);
+        if (!diags_.has_errors()) {
+            sem::ElaborateOptions eopts;
+            eopts.top = opts_.top;
+            design_ = sem::elaborate(unit, diags_, eopts);
+        }
+        if (design_ && !diags_.has_errors())
+            sem::analyze_wellformed(*design_, diags_);
+    }
+    if (!design_ || diags_.has_errors())
+        return nullptr;
+    return design_.get();
+}
+
+const check::CheckResult* Compilation::check() {
+    if (!checked_) {
+        checked_ = true;
+        if (!elaborate())
+            return nullptr;
+        check_result_ = check::check_design(*design_, diags_, opts_.check);
+    }
+    if (!design_)
+        return nullptr;
+    return &check_result_;
+}
+
+bool Compilation::secure() {
+    const check::CheckResult* res = check();
+    return res && res->ok && !diags_.has_errors();
+}
+
+const char* entail_status_name(solver::EntailStatus s) {
+    switch (s) {
+    case solver::EntailStatus::Proven:
+        return "proven";
+    case solver::EntailStatus::Refuted:
+        return "refuted";
+    case solver::EntailStatus::Unknown:
+        return "unknown";
+    }
+    return "unknown";
+}
+
+ObligationRecord make_obligation_record(const check::Obligation& ob,
+                                        const hir::Design& design,
+                                        const SourceManager* sm) {
+    ObligationRecord rec;
+    rec.id = ob.id;
+    rec.kind = check::obligation_kind_name(ob.kind);
+    rec.target = design.net(ob.target).name;
+    if (sm && ob.loc.valid())
+        rec.loc = sm->describe(ob.loc);
+    rec.lhs = ob.lhs_label;
+    rec.rhs = ob.rhs_label;
+    rec.status = entail_status_name(ob.result.status);
+    rec.detail = ob.result.detail;
+    rec.solve_ms = ob.solve_ms;
+    if (ob.result.witness) {
+        rec.witness.reserve(ob.result.witness->bindings.size());
+        for (const auto& b : ob.result.witness->bindings)
+            rec.witness.push_back({design.net(b.net).name, b.primed,
+                                   b.value.value()});
+    }
+    return rec;
+}
+
+void write_obligation_record(JsonWriter& w, const ObligationRecord& rec,
+                             bool with_timing) {
+    w.begin_object();
+    w.kv("id", rec.id);
+    w.kv("kind", rec.kind);
+    w.kv("target", rec.target);
+    w.kv("loc", rec.loc);
+    w.kv("lhs", rec.lhs);
+    w.kv("rhs", rec.rhs);
+    w.kv("status", rec.status);
+    if (!rec.detail.empty())
+        w.kv("detail", rec.detail);
+    if (!rec.witness.empty()) {
+        w.key("witness").begin_array();
+        for (const auto& b : rec.witness) {
+            w.begin_object();
+            w.kv("net", b.net);
+            w.kv("primed", b.primed);
+            w.kv("value", b.value);
+            w.end_object();
+        }
+        w.end_array();
+    }
+    if (with_timing)
+        w.kv("solve_ms", rec.solve_ms, 3);
+    w.end_object();
+}
+
+} // namespace svlc::pipeline

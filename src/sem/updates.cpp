@@ -10,17 +10,20 @@ using namespace hir;
 
 namespace {
 
-/// Conjoins two guards (either may be null = true).
+/// Conjoins two guards (either may be null = true). Synthesized nodes
+/// inherit an operand's loc so facts built from them stay resolvable in
+/// diagnostics.
 ExprPtr conj(const ExprPtr& a, const Expr* b) {
     if (!a)
         return b ? b->clone() : nullptr;
     if (!b)
         return a->clone();
-    return Expr::make_binary(BinaryOp::LogAnd, a->clone(), b->clone());
+    SourceLoc loc = a->loc.valid() ? a->loc : b->loc;
+    return Expr::make_binary(BinaryOp::LogAnd, a->clone(), b->clone(), loc);
 }
 
 ExprPtr negate(const Expr* e) {
-    return Expr::make_unary(UnaryOp::LogNot, e->clone());
+    return Expr::make_unary(UnaryOp::LogNot, e->clone(), e->loc);
 }
 
 /// Symbolic executor for one process. Maintains env: net -> current

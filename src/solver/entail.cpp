@@ -1,11 +1,12 @@
 #include "solver/entail.hpp"
 
+#include "solver/backend.hpp"
 #include "solver/entail_cache.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
-#include <sstream>
+#include <string>
 
 namespace svlc::solver {
 
@@ -48,21 +49,28 @@ bool expr_equal(const Expr& a, const Expr& b) {
 EntailmentEngine::EntailmentEngine(const Design& design,
                                    const sem::Equations& eqs,
                                    EntailOptions opts)
-    : design_(design), eqs_(eqs), opts_(opts) {
+    : design_(design), eqs_(eqs), opts_(opts),
+      backend_(make_backend(opts_.backend)) {
     if (opts_.cache) {
         // Entries are shareable only between engines that would run the
-        // identical decision procedure: same policy, same budgets.
+        // identical decision procedure: same policy, same budgets, same
+        // backend. Backends are verdict-equivalent by contract, but the
+        // cached candidate counts differ, and keeping the keyspaces
+        // disjoint means a contract violation can never leak a verdict
+        // across backends.
         key_prefix_ = policy_fingerprint(design_.policy);
-        char buf[96];
-        std::snprintf(buf, sizeof buf, "|o:%u,%llu,%zu,%d,%d%d%d",
+        char buf[112];
+        std::snprintf(buf, sizeof buf, "|o:%u,%llu,%zu,%d,%d%d%d|b:%s",
                       opts_.max_enum_width,
                       static_cast<unsigned long long>(opts_.max_candidates),
                       opts_.max_enum_vars, opts_.closure_depth,
                       opts_.use_equations, opts_.use_primed_equations,
-                      opts_.use_com_equations);
+                      opts_.use_com_equations, backend_id(opts_.backend));
         key_prefix_ += buf;
     }
 }
+
+EntailmentEngine::~EntailmentEngine() = default;
 
 bool EntailmentEngine::past_deadline() const {
     return opts_.deadline != std::chrono::steady_clock::time_point{} &&
@@ -217,7 +225,18 @@ EntailResult EntailmentEngine::check_flow(
     for (const Expr* f : facts)
         collect_vars(*f, vars);
 
+    // A refutation is only trustworthy when every defining equation the
+    // candidate space is subject to made it into the fact set; if
+    // closure_depth cuts the closure short, a "definitely satisfying"
+    // candidate may be ruled out by one of the dropped equations.
+    bool closure_truncated = false;
     if (opts_.use_equations) {
+        auto may_have_equation = [&](Var v) {
+            if (v.second)
+                return opts_.use_primed_equations;
+            return design_.net(v.first).kind == NetKind::Com &&
+                   opts_.use_com_equations && eqs_.def(v.first) != nullptr;
+        };
         std::vector<Var> processed;
         size_t frontier_begin = 0;
         for (int depth = 0; depth < opts_.closure_depth; ++depth) {
@@ -232,22 +251,28 @@ EntailResult EntailmentEngine::check_flow(
                 ExprPtr equation;
                 if (v.second && opts_.use_primed_equations) {
                     // Primed: r' == def(r), or r' == r when undriven.
+                    // Synthesized nodes inherit the defining expression's
+                    // loc (falling back to the net declaration) so every
+                    // downstream diagnostic stays file-resolvable.
                     const Expr* def = eqs_.def(v.first);
+                    SourceLoc loc = def ? def->loc : net.loc;
                     ExprPtr rhs_expr =
                         def ? def->clone()
-                            : Expr::make_net(v.first, net.width, false);
+                            : Expr::make_net(v.first, net.width, false,
+                                             net.loc);
                     equation = Expr::make_binary(
                         BinaryOp::Eq,
-                        Expr::make_net(v.first, net.width, true),
-                        std::move(rhs_expr));
+                        Expr::make_net(v.first, net.width, true, net.loc),
+                        std::move(rhs_expr), loc);
                 } else if (!v.second && net.kind == NetKind::Com &&
                            opts_.use_com_equations) {
                     const Expr* def = eqs_.def(v.first);
                     if (def)
                         equation = Expr::make_binary(
                             BinaryOp::Eq,
-                            Expr::make_net(v.first, net.width, false),
-                            def->clone());
+                            Expr::make_net(v.first, net.width, false,
+                                           net.loc),
+                            def->clone(), def->loc);
                 }
                 if (equation) {
                     collect_vars(*equation, vars);
@@ -258,6 +283,16 @@ EntailResult EntailmentEngine::check_flow(
             frontier_begin = frontier_end;
             if (frontier_begin == vars.size())
                 break;
+        }
+        for (size_t vi = frontier_begin; vi < vars.size(); ++vi) {
+            Var v = vars[vi];
+            if (std::find(processed.begin(), processed.end(), v) !=
+                processed.end())
+                continue;
+            if (may_have_equation(v)) {
+                closure_truncated = true;
+                break;
+            }
         }
     }
 
@@ -311,80 +346,33 @@ EntailResult EntailmentEngine::check_flow(
     }
 
     // ------------------------------------------------------------------
-    // Enumerate candidates.
+    // Enumerate candidates (delegated to the configured backend).
     // ------------------------------------------------------------------
     ++stats_.enumerations;
-    bool any_unknown_failure = false;
-    std::string unknown_note;
-    for (uint64_t idx = 0; idx < domain; ++idx) {
-        if ((idx & 0x3FF) == 0x3FF && past_deadline()) {
-            result.status = EntailStatus::Unknown;
-            result.timed_out = true;
-            result.detail = "entailment deadline exceeded mid-enumeration";
-            return result;
-        }
-        Assignment asg;
-        uint64_t rest = idx;
-        for (const Var& v : enum_vars) {
-            uint32_t w = design_.net(v.first).width;
-            uint64_t size = uint64_t{1} << w;
-            asg.set(v.first, v.second, BitVec(w, rest % size));
-            rest /= size;
-        }
-        ++stats_.total_candidates;
-        ++result.candidates;
+    EnumProblem problem{design_, lhs, rhs, facts, {}, 1, {}};
+    problem.vars.reserve(enum_vars.size());
+    for (const Var& v : enum_vars)
+        problem.vars.push_back({v.first, v.second,
+                                design_.net(v.first).width});
+    problem.domain = domain;
+    problem.deadline = opts_.deadline;
 
-        bool definitely_sat = true;
-        bool possibly_sat = true;
-        for (const Expr* f : facts) {
-            auto v = eval3(*f, asg);
-            if (v && v->is_zero()) {
-                possibly_sat = false;
-                break;
-            }
-            if (!v)
-                definitely_sat = false;
-        }
-        if (!possibly_sat)
-            continue;
-
-        auto lv = eval_label(lhs, design_, asg);
-        auto rv = eval_label(rhs, design_, asg);
-        if (lv && rv) {
-            if (design_.policy.lattice().flows(*lv, *rv))
-                continue;
-            std::ostringstream os;
-            for (const Var& v : enum_vars) {
-                os << design_.net(v.first).name << (v.second ? "'" : "")
-                   << "=" << asg.get(v.first, v.second)->value() << " ";
-            }
-            os << "gives " << design_.policy.lattice().name(*lv) << " ⋢ "
-               << design_.policy.lattice().name(*rv);
-            if (definitely_sat) {
-                result.status = EntailStatus::Refuted;
-                result.detail = os.str();
-                return result;
-            }
-            any_unknown_failure = true;
-            if (unknown_note.empty())
-                unknown_note = "possibly-reachable violation: " + os.str();
-        } else {
-            any_unknown_failure = true;
-            if (unknown_note.empty())
-                unknown_note =
-                    "label value depends on signals beyond the "
-                    "enumeration budget";
-        }
-    }
-
-    if (!any_unknown_failure) {
-        result.status = EntailStatus::Proven;
-        if (!cache_key.empty())
-            opts_.cache->insert(cache_key, {result.candidates});
-    } else {
+    result = backend_->enumerate(problem);
+    stats_.total_candidates += result.candidates;
+    if (result.status == EntailStatus::Refuted && closure_truncated) {
+        // The counterexample satisfies a weakened fact set; the equations
+        // the closure budget dropped may exclude it, so surrender the
+        // verdict rather than report a possibly-unreachable state.
         result.status = EntailStatus::Unknown;
-        result.detail = unknown_note;
+        result.witness.reset();
+        result.detail =
+            "possible counterexample only: the defining-equation closure "
+            "was truncated at closure_depth=" +
+            std::to_string(opts_.closure_depth) +
+            "; raise it to confirm or refute";
     }
+    if (result.proven() && !result.timed_out && !cache_key.empty())
+        opts_.cache->insert(cache_key, {result.candidates});
     return result;
 }
 

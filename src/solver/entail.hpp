@@ -7,12 +7,15 @@
 // Decision procedure (substitutes an external SMT solver):
 //   1. a syntactic fast path (atom coverage, congruence through equation
 //      facts, and label-function range bounding), then
-//   2. dependency-closed domain enumeration: the engine pulls the
+//   2. dependency-closed domain enumeration, delegated to a pluggable
+//      EntailBackend (solver/backend.hpp): the engine pulls the
 //      statically-known defining equations of every referenced next-cycle
-//      and combinational signal into the fact set, enumerates all small
-//      variables, and evaluates facts and labels three-valued. A candidate
-//      refutes the flow only if every fact is *definitely* true and the
-//      labels are known; "unknown" never proves a flow (sound).
+//      and combinational signal into the fact set, chooses the enumeration
+//      set, and the backend evaluates facts and labels three-valued over
+//      every candidate. A candidate refutes the flow only if every fact is
+//      *definitely* true and the labels are known; "unknown" never proves
+//      a flow (sound). All backends are verdict-equivalent by contract
+//      (enforced by the differential harness, `svlc diff-backends`).
 #pragma once
 
 #include "sem/hir.hpp"
@@ -22,12 +25,30 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace svlc::solver {
 
 class EntailCache;
+class EntailBackend;
+
+/// Which enumeration backend decides non-syntactic obligations.
+///   Enum  — the reference procedure: plain mixed-radix enumeration.
+///   Prune — verdict-equivalent, faster: unit-propagates `x == const`
+///           facts into the domain, memoizes fact/label evaluation across
+///           candidates, and skips whole subspaces refuted by a fact that
+///           only depends on slow-changing variables.
+enum class BackendKind { Enum, Prune };
+
+/// Stable short id ("enum" / "prune") used in cache keys, fingerprints,
+/// CLI flags, and JSON reports.
+const char* backend_id(BackendKind kind);
+/// Parses a backend id; nullopt for unknown names.
+std::optional<BackendKind> parse_backend(std::string_view name);
 
 struct EntailOptions {
     /// Nets wider than this are never enumerated (their values stay
@@ -57,6 +78,11 @@ struct EntailOptions {
     /// pathological query cannot stall a batch. Default-constructed
     /// time_point (the epoch) disables the deadline.
     std::chrono::steady_clock::time_point deadline{};
+    /// Enumeration backend. Both are verdict- and witness-equivalent;
+    /// Prune is the fast path, Enum the reference. The id participates in
+    /// cache keys and incremental fingerprints so memoized verdicts never
+    /// cross backends.
+    BackendKind backend = BackendKind::Enum;
 };
 
 enum class EntailStatus {
@@ -65,10 +91,35 @@ enum class EntailStatus {
     Unknown, ///< could not be decided (treated as a rejection)
 };
 
+/// One variable of a counterexample: the value a (possibly primed) net
+/// takes in the violating assignment.
+struct WitnessBinding {
+    hir::NetId net = hir::kInvalidNet;
+    bool primed = false;
+    BitVec value;
+};
+
+/// Structured counterexample carried by every Refuted verdict: the
+/// violating assignment to the enumerated nets (current and primed) plus
+/// the label valuation that breaks the flow lhs ⊑ rhs.
+struct Witness {
+    std::vector<WitnessBinding> bindings;
+    LevelId lhs_level = 0;
+    LevelId rhs_level = 0;
+
+    /// Renders "a=1 b'=0 gives U ⋢ T" — the engine's historical detail
+    /// format, kept byte-compatible.
+    [[nodiscard]] std::string str(const hir::Design& design) const;
+};
+
 struct EntailResult {
     EntailStatus status = EntailStatus::Unknown;
     /// Human-readable witness for Refuted / explanation for Unknown.
     std::string detail;
+    /// Structured counterexample; present exactly when status is Refuted
+    /// and the refutation came from enumeration (the syntactic fast path
+    /// never refutes).
+    std::optional<Witness> witness;
     uint64_t candidates = 0;
     bool syntactic = false;
     /// Set when the engine gave up because EntailOptions::deadline passed
@@ -85,6 +136,8 @@ class EntailmentEngine {
 public:
     EntailmentEngine(const hir::Design& design, const sem::Equations& eqs,
                      EntailOptions opts = {});
+    ~EntailmentEngine();
+    EntailmentEngine(EntailmentEngine&&) = delete;
 
     /// Checks C ⇒ lhs ⊑ rhs where `facts` are expressions assumed
     /// non-zero. The engine augments facts with defining equations of the
@@ -120,6 +173,7 @@ private:
     const hir::Design& design_;
     const sem::Equations& eqs_;
     EntailOptions opts_;
+    std::unique_ptr<EntailBackend> backend_;
     Stats stats_;
     /// Cache-key prefix: policy fingerprint + enumeration budget. Built
     /// once, on first use, when a cache is attached.

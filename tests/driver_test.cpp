@@ -216,7 +216,7 @@ TEST(Driver, RejectedDesignStillReportsDiagnostics) {
     // The full JSON embeds the rendered diagnostics, escaped.
     std::string json = report.to_json(true);
     EXPECT_NE(json.find("\"status\": \"rejected\""), std::string::npos);
-    EXPECT_NE(json.find("svlc-batch-report/v1"), std::string::npos);
+    EXPECT_NE(json.find("svlc-batch-report/v2"), std::string::npos);
 }
 
 TEST(Driver, UnreadableFileIsErrorNotCrash) {

@@ -1,6 +1,7 @@
 // svlc — the SecVerilogLC command-line driver.
 //
 //   svlc check <file.svlc> [--top M] [--classic] [--no-hold]
+//              [--solver enum|prune] [--json out.json] [--stats]
 //   svlc emit-verilog <file.svlc> [--top M] [--compat]
 //   svlc sim <file.svlc> [--top M] --cycles N [--set in=val]...
 //            [--vcd out.vcd] [--watch net]...
@@ -9,21 +10,26 @@
 //   svlc dump-cpu <labeled|baseline|vulnerable|quad> [outfile]
 //   svlc batch <manifest|dir|file.svlc|builtin:V> [--jobs N] [--json F]
 //              [--timeout-ms T] [--no-cache] [--warm] [--cpus]
-//              [--store DIR] [--no-store]
+//              [--store DIR] [--no-store] [--solver enum|prune]
 //   svlc watch <manifest|dir|file.svlc|builtin:V> [--store DIR]
 //              [--interval-ms T] [--iterations N] [--jobs N] [--cpus]
+//   svlc diff-backends <manifest|dir|file.svlc|builtin:V> [--jobs N]
+//              [--cpus] [--classic] [--no-hold]
+//
+// Every checking command funnels through pipeline::Compilation — the CLI
+// owns flag parsing and rendering, never phase plumbing.
 #include "check/typecheck.hpp"
 #include "codegen/verilog.hpp"
 #include "driver/driver.hpp"
 #include "driver/watch.hpp"
-#include "parse/parser.hpp"
+#include "pipeline/compilation.hpp"
 #include "proc/assembler.hpp"
 #include "proc/isa.hpp"
 #include "proc/sources.hpp"
-#include "sem/elaborate.hpp"
-#include "sem/wellformed.hpp"
 #include "sim/simulator.hpp"
 #include "sim/vcd.hpp"
+#include "solver/entail.hpp"
+#include "support/json.hpp"
 #include "synth/synthesize.hpp"
 #include "verify/taint.hpp"
 
@@ -44,14 +50,17 @@ int usage() {
     std::fprintf(stderr,
                  "usage:\n"
                  "  svlc check <file.svlc> [--top M] [--classic] [--no-hold]\n"
-                 "             [--stats]\n"
+                 "             [--solver enum|prune] [--json out.json] [--stats]\n"
                  "  svlc batch <manifest|dir|file.svlc|builtin:V> [--jobs N]\n"
                  "             [--json out.json] [--timeout-ms T] [--no-cache]\n"
                  "             [--warm] [--cpus] [--classic] [--no-hold]\n"
-                 "             [--store DIR] [--no-store]\n"
+                 "             [--store DIR] [--no-store] [--solver enum|prune]\n"
                  "  svlc watch <manifest|dir|file.svlc|builtin:V> [--store DIR]\n"
                  "             [--interval-ms T] [--iterations N] [--jobs N]\n"
                  "             [--cpus] [--classic] [--no-hold]\n"
+                 "             [--solver enum|prune]\n"
+                 "  svlc diff-backends <manifest|dir|file.svlc|builtin:V>\n"
+                 "             [--jobs N] [--cpus] [--classic] [--no-hold]\n"
                  "  svlc emit-verilog <file.svlc> [--top M] [--compat]\n"
                  "  svlc sim <file.svlc> [--top M] --cycles N [--set in=val]...\n"
                  "           [--vcd out.vcd] [--watch net]...\n"
@@ -80,6 +89,8 @@ struct Args {
     std::string outfile;
     // check --stats
     bool stats = false;
+    // check/batch/watch entailment backend (empty = engine default)
+    std::string solver;
     // batch
     uint64_t jobs = 0;
     std::string json_path;
@@ -168,6 +179,18 @@ bool parse_args(int argc, char** argv, Args& args) {
             args.vcd_path = v;
         } else if (arg == "--stats") {
             args.stats = true;
+        } else if (arg == "--solver") {
+            const char* v = next();
+            if (!v)
+                return false;
+            if (!solver::parse_backend(v)) {
+                std::fprintf(stderr,
+                             "--solver: unknown backend '%s' (expected "
+                             "enum or prune)\n",
+                             v);
+                return false;
+            }
+            args.solver = v;
         } else if (arg == "--jobs") {
             const char* v = next();
             if (!v)
@@ -234,54 +257,104 @@ bool parse_args(int argc, char** argv, Args& args) {
     return true;
 }
 
-std::unique_ptr<hir::Design> load(const Args& args, SourceManager& sm,
-                                  DiagnosticEngine& diags) {
-    std::ifstream in(args.file);
-    if (!in) {
-        std::fprintf(stderr, "cannot open '%s'\n", args.file.c_str());
-        return nullptr;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    ast::CompilationUnit unit =
-        Parser::parse_text(buf.str(), sm, diags, args.file);
-    if (diags.has_errors())
-        return nullptr;
-    sem::ElaborateOptions opts;
-    opts.top = args.top;
-    auto design = sem::elaborate(unit, diags, opts);
-    if (!design)
-        return nullptr;
-    if (!sem::analyze_wellformed(*design, diags))
-        return nullptr;
-    return design;
-}
-
-int cmd_check(const Args& args) {
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    auto design = load(args, sm, diags);
-    if (!design) {
-        std::fputs(diags.render().c_str(), stderr);
-        return 1;
-    }
+/// Checker configuration shared by check/batch/watch: mode, hold
+/// obligations, and the entailment backend.
+check::CheckOptions check_options(const Args& args) {
     check::CheckOptions opts;
     if (args.classic)
         opts.mode = check::CheckerMode::ClassicSecVerilog;
     opts.hold_obligations = !args.no_hold;
-    auto result = check::check_design(*design, diags, opts);
-    std::fputs(diags.render().c_str(), stderr);
+    if (!args.solver.empty())
+        opts.solver.backend = *solver::parse_backend(args.solver);
+    return opts;
+}
+
+/// Elaborates args.file through the unified pipeline for the non-checking
+/// commands (emit/sim/synth/taint). Prints diagnostics and returns null
+/// on any phase failure.
+std::unique_ptr<pipeline::Compilation> elaborate_file(const Args& args) {
+    pipeline::CompilationOptions popts;
+    popts.top = args.top;
+    auto comp = std::make_unique<pipeline::Compilation>(std::move(popts));
+    if (!comp->load_file(args.file) || !comp->elaborate()) {
+        std::fputs(comp->render_diagnostics().c_str(), stderr);
+        return nullptr;
+    }
+    return comp;
+}
+
+/// Machine-readable single-file check report: every obligation (proven or
+/// not) as a pipeline::ObligationRecord, plus the verdict and config.
+std::string check_report_json(const Args& args,
+                              const pipeline::Compilation& comp,
+                              const check::CheckResult& result) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "svlc-check-report/v1");
+    w.kv("file", args.file);
+    w.kv("status", result.ok ? "secure" : "rejected");
+    w.key("config").begin_object();
+    if (!args.top.empty())
+        w.kv("top", args.top);
+    w.kv("solver",
+         solver::backend_id(comp.options().check.solver.backend));
+    w.kv("mode", args.classic ? "classic" : "lc");
+    w.end_object();
+    w.key("obligations").begin_array();
+    for (const check::Obligation& ob : result.obligations)
+        pipeline::write_obligation_record(
+            w,
+            pipeline::make_obligation_record(ob, *comp.design(),
+                                             &comp.sources()),
+            /*with_timing=*/true);
+    w.end_array();
+    w.key("totals").begin_object();
+    w.kv("obligations", result.obligations.size());
+    w.kv("failed", result.failed);
+    w.kv("downgrades", result.downgrade_count);
+    w.end_object();
+    w.end_object();
+    std::string out = w.str();
+    out += '\n';
+    return out;
+}
+
+int cmd_check(const Args& args) {
+    pipeline::CompilationOptions popts;
+    popts.top = args.top;
+    popts.check = check_options(args);
+    pipeline::Compilation comp(std::move(popts));
+    if (!comp.load_file(args.file)) {
+        std::fputs(comp.render_diagnostics().c_str(), stderr);
+        return 1;
+    }
+    const check::CheckResult* checked = comp.check();
+    std::fputs(comp.render_diagnostics().c_str(), stderr);
+    if (!checked)
+        return 1;
+    const check::CheckResult& result = *checked;
+    const hir::Design& design = *comp.design();
     std::printf("%s: %zu obligations, %zu failed, %zu downgrade site(s)\n",
                 result.ok ? "SECURE" : "REJECTED",
                 result.obligations.size(), result.failed,
                 result.downgrade_count);
     if (result.downgrade_count) {
-        for (const auto& d : design->downgrades)
+        for (const auto& d : design.downgrades)
             std::printf("  downgrade at %s: %s(%s)\n",
-                        sm.describe(d.loc).c_str(),
+                        comp.sources().describe(d.loc).c_str(),
                         d.kind == hir::DowngradeKind::Endorse ? "endorse"
                                                               : "declassify",
                         d.description.c_str());
+    }
+    if (!args.json_path.empty()) {
+        std::ofstream out(args.json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         args.json_path.c_str());
+            return 2;
+        }
+        out << check_report_json(args, comp, result);
+        std::fprintf(stderr, "wrote %s\n", args.json_path.c_str());
     }
     if (args.stats) {
         const auto& s = result.solver_stats;
@@ -327,9 +400,7 @@ int cmd_batch(const Args& args) {
     opts.use_cache = !args.no_cache;
     if (!args.no_store)
         opts.store_dir = args.store_dir;
-    if (args.classic)
-        opts.check.mode = check::CheckerMode::ClassicSecVerilog;
-    opts.check.hold_obligations = !args.no_hold;
+    opts.check = check_options(args);
 
     driver::VerificationDriver drv(opts);
     if (args.warm) {
@@ -382,29 +453,57 @@ int cmd_watch(const Args& args) {
     opts.driver.use_cache = !args.no_cache;
     if (!args.no_store)
         opts.driver.store_dir = args.store_dir;
-    if (args.classic)
-        opts.driver.check.mode = check::CheckerMode::ClassicSecVerilog;
-    opts.driver.check.hold_obligations = !args.no_hold;
+    opts.driver.check = check_options(args);
     opts.interval_ms = args.interval_ms;
     opts.max_iterations = args.iterations;
     opts.include_cpus = args.cpus;
     return driver::run_watch(args.file, opts, stdout, stderr);
 }
 
-int cmd_emit(const Args& args) {
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    auto design = load(args, sm, diags);
-    if (!design) {
-        std::fputs(diags.render().c_str(), stderr);
-        return 1;
+int cmd_diff(const Args& args) {
+    std::vector<driver::JobSpec> jobs;
+    std::string error;
+    if (!driver::collect_jobs(args.file, jobs, error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
     }
+    if (args.cpus) {
+        auto cpu_jobs = driver::builtin_cpu_jobs();
+        jobs.insert(jobs.end(), std::make_move_iterator(cpu_jobs.begin()),
+                    std::make_move_iterator(cpu_jobs.end()));
+    }
+    driver::DriverOptions opts;
+    opts.jobs = args.jobs;
+    opts.timeout_ms = args.timeout_ms;
+    opts.check = check_options(args);
+    std::vector<driver::BackendDiff> diffs = driver::diff_backends(jobs, opts);
+    if (diffs.empty()) {
+        std::printf("diff-backends: %zu job(s), enum and prune agree on "
+                    "every verdict\n",
+                    jobs.size());
+        return 0;
+    }
+    for (const auto& d : diffs)
+        std::printf("DIFF %s %s: enum=%s prune=%s\n", d.job.c_str(),
+                    d.field.c_str(), d.enum_value.c_str(),
+                    d.prune_value.c_str());
+    std::printf("diff-backends: %zu disagreement(s) across %zu job(s) — "
+                "backend contract violated\n",
+                diffs.size(), jobs.size());
+    return 1;
+}
+
+int cmd_emit(const Args& args) {
+    auto comp = elaborate_file(args);
+    if (!comp)
+        return 1;
     codegen::EmitOptions opts;
     if (args.compat)
         opts.dialect = codegen::Dialect::SvlcCompat;
-    std::string verilog = codegen::emit_verilog(*design, diags, opts);
-    if (diags.has_errors()) {
-        std::fputs(diags.render().c_str(), stderr);
+    std::string verilog =
+        codegen::emit_verilog(*comp->design(), comp->diags(), opts);
+    if (comp->diags().has_errors()) {
+        std::fputs(comp->render_diagnostics().c_str(), stderr);
         return 1;
     }
     std::fputs(verilog.c_str(), stdout);
@@ -412,13 +511,10 @@ int cmd_emit(const Args& args) {
 }
 
 int cmd_sim(const Args& args) {
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    auto design = load(args, sm, diags);
-    if (!design) {
-        std::fputs(diags.render().c_str(), stderr);
+    auto comp = elaborate_file(args);
+    if (!comp)
         return 1;
-    }
+    const hir::Design* design = comp->design();
     sim::Simulator simulator(*design);
     for (const auto& [name, value] : args.sets)
         simulator.set_input(name, value);
@@ -473,13 +569,10 @@ int cmd_sim(const Args& args) {
 }
 
 int cmd_synth(const Args& args) {
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    auto design = load(args, sm, diags);
-    if (!design) {
-        std::fputs(diags.render().c_str(), stderr);
+    auto comp = elaborate_file(args);
+    if (!comp)
         return 1;
-    }
+    const hir::Design* design = comp->design();
     synth::SynthOptions opts;
     opts.use_enable_ff = !args.no_enable_ff;
     opts.target_clock_ns = args.clock;
@@ -496,13 +589,10 @@ int cmd_synth(const Args& args) {
 }
 
 int cmd_taint(const Args& args) {
-    SourceManager sm;
-    DiagnosticEngine diags(&sm);
-    auto design = load(args, sm, diags);
-    if (!design) {
-        std::fputs(diags.render().c_str(), stderr);
+    auto comp = elaborate_file(args);
+    if (!comp)
         return 1;
-    }
+    const hir::Design* design = comp->design();
     sim::Simulator simulator(*design);
     verify::TaintTracker tracker(*design);
     for (const auto& [name, value] : args.sets)
@@ -619,6 +709,8 @@ int main(int argc, char** argv) {
         return cmd_batch(args);
     if (args.command == "watch")
         return cmd_watch(args);
+    if (args.command == "diff-backends")
+        return cmd_diff(args);
     if (args.command == "emit-verilog")
         return cmd_emit(args);
     if (args.command == "sim")
