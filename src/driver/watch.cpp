@@ -19,16 +19,16 @@ namespace fs = std::filesystem;
 /// Last observed state of one watched job.
 struct WatchedJob {
     /// stat() signature; a change is the cheap trigger for re-hashing.
-    int64_t mtime_ns = -1;
-    uint64_t size = 0;
+    StatSig sig;
     /// Full verification fingerprint; a change means re-verify.
     std::string fingerprint;
     /// Last verdict, for transition reporting ("" before first run).
     std::string verdict;
 };
 
-bool stat_signature(const std::string& path, int64_t& mtime_ns,
-                    uint64_t& size) {
+} // namespace
+
+bool stat_file(const std::string& path, StatSig& out) {
     std::error_code ec;
     auto t = fs::last_write_time(path, ec);
     if (ec)
@@ -36,14 +36,27 @@ bool stat_signature(const std::string& path, int64_t& mtime_ns,
     auto sz = fs::file_size(path, ec);
     if (ec)
         return false;
-    mtime_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                   t.time_since_epoch())
-                   .count();
-    size = sz;
+    out.mtime_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       t.time_since_epoch())
+                       .count();
+    out.size = sz;
     return true;
 }
 
-} // namespace
+int64_t file_clock_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               fs::file_time_type::clock::now().time_since_epoch())
+        .count();
+}
+
+bool stat_proves_unchanged(const StatSig& prev, const StatSig& cur,
+                           int64_t now_ns) {
+    if (prev.mtime_ns < 0 || !(prev == cur))
+        return false;
+    // A file touched within the racy window may have been rewritten again
+    // without moving a coarse-granularity timestamp — don't trust it.
+    return now_ns - cur.mtime_ns >= kStatRacyWindowNs;
+}
 
 int run_watch(const std::string& target, const WatchOptions& opts,
               std::FILE* out, std::FILE* err) {
@@ -81,20 +94,23 @@ int run_watch(const std::string& target, const WatchOptions& opts,
                          error.c_str());
         }
 
-        // Dirty detection: stat first, hash only on stat change, compare
-        // fingerprints so a `touch` without a content change stays clean.
+        // Dirty detection: stat first, hash only when the stat signature
+        // moved or is too fresh to trust (see stat_proves_unchanged),
+        // then compare fingerprints so a `touch` without a content change
+        // stays clean.
         std::vector<JobSpec> dirty;
         std::map<std::string, WatchedJob> next_state;
+        int64_t now_ns = file_clock_now_ns();
         for (const auto& spec : jobs) {
             auto prev = state.find(spec.name);
             WatchedJob w;
             bool readable = true;
             if (!spec.path.empty()) {
-                if (!stat_signature(spec.path, w.mtime_ns, w.size))
+                if (!stat_file(spec.path, w.sig))
                     readable = false;
                 else if (prev != state.end() &&
-                         prev->second.mtime_ns == w.mtime_ns &&
-                         prev->second.size == w.size)
+                         stat_proves_unchanged(prev->second.sig, w.sig,
+                                               now_ns))
                     w.fingerprint = prev->second.fingerprint;
             }
             if (readable && w.fingerprint.empty()) {

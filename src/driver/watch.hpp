@@ -34,4 +34,36 @@ struct WatchOptions {
 int run_watch(const std::string& target, const WatchOptions& opts,
               std::FILE* out, std::FILE* err);
 
+// --- stat-based dirty detection --------------------------------------------
+
+/// stat() signature of a watched file. Both fields matching the previous
+/// observation is a *candidate* reason to skip re-hashing; see
+/// stat_proves_unchanged for when it may actually be trusted.
+struct StatSig {
+    /// last_write_time in ns since the file clock's epoch; -1 = unset.
+    int64_t mtime_ns = -1;
+    uint64_t size = 0;
+
+    friend bool operator==(const StatSig&, const StatSig&) = default;
+};
+
+/// Reads mtime+size; false when the file vanished mid-poll.
+bool stat_file(const std::string& path, StatSig& out);
+
+/// Current time on the same clock/epoch as StatSig::mtime_ns.
+int64_t file_clock_now_ns();
+
+/// Window within which an unchanged (mtime, size) pair is NOT trusted.
+/// Filesystems and archive tools commonly truncate timestamps to whole
+/// seconds, so a same-size rewrite within the same second can leave the
+/// signature identical; like git's index racy-check, anything modified
+/// less than ~2 s ago gets its content re-hashed instead.
+constexpr int64_t kStatRacyWindowNs = 2'000'000'000;
+
+/// True when `cur` matching `prev` proves the content is unchanged:
+/// identical signature and an mtime old enough (relative to `now_ns`)
+/// that even a second-granularity timestamp would have moved on rewrite.
+bool stat_proves_unchanged(const StatSig& prev, const StatSig& cur,
+                           int64_t now_ns);
+
 } // namespace svlc::driver

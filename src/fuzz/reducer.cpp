@@ -1,0 +1,159 @@
+#include "fuzz/reducer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace svlc::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& s) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        size_t nl = s.find('\n', start);
+        if (nl == std::string::npos) {
+            if (start < s.size())
+                out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return out;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+    std::string out;
+    for (const auto& l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+class Reducer {
+public:
+    Reducer(const std::function<bool(const std::string&)>& pred,
+            const ReduceOptions& opts)
+        : pred_(pred), opts_(opts) {}
+
+    ReduceResult run(const std::string& failing) {
+        cur_ = failing;
+        if (!try_candidate(failing)) {
+            // The caller's predicate does not hold on its own input;
+            // nothing we produce would be trustworthy.
+            return {failing, attempts_, false};
+        }
+        for (int round = 0; round < opts_.max_rounds && !budget_gone_;
+             ++round) {
+            size_t before = cur_.size();
+            chunk_pass();
+            token_pass();
+            if (cur_.size() >= before)
+                break; // fixpoint
+        }
+        return {cur_, attempts_, budget_gone_};
+    }
+
+private:
+    bool try_candidate(const std::string& cand) {
+        if (attempts_ >= opts_.max_attempts) {
+            budget_gone_ = true;
+            return false;
+        }
+        ++attempts_;
+        return pred_(cand);
+    }
+
+    /// Tries keeping the candidate; on success it becomes current.
+    bool keep_if_fails(std::string cand) {
+        if (cand == cur_)
+            return false;
+        if (!try_candidate(cand))
+            return false;
+        cur_ = std::move(cand);
+        return true;
+    }
+
+    /// ddmin-style sweep: delete chunks of lines, halving the chunk size
+    /// down to single lines.
+    void chunk_pass() {
+        for (size_t chunk = std::max<size_t>(split_lines(cur_).size() / 2, 1);
+             chunk >= 1 && !budget_gone_; chunk /= 2) {
+            std::vector<std::string> lines = split_lines(cur_);
+            size_t i = 0;
+            while (i < lines.size() && !budget_gone_) {
+                std::vector<std::string> cand = lines;
+                size_t n = std::min(chunk, cand.size() - i);
+                cand.erase(cand.begin() + static_cast<long>(i),
+                           cand.begin() + static_cast<long>(i + n));
+                if (!cand.empty() && keep_if_fails(join_lines(cand)))
+                    lines = std::move(cand); // same index now holds new text
+                else
+                    i += chunk;
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+
+    /// Deletes whitespace-separated tokens inside each line.
+    void token_pass() {
+        std::vector<std::string> lines = split_lines(cur_);
+        for (size_t li = 0; li < lines.size() && !budget_gone_; ++li) {
+            bool progress = true;
+            while (progress && !budget_gone_) {
+                progress = false;
+                const std::string& line = lines[li];
+                // Token boundaries: maximal runs of non-space characters.
+                std::vector<std::pair<size_t, size_t>> tokens;
+                size_t p = 0;
+                while (p < line.size()) {
+                    while (p < line.size() &&
+                           std::isspace(static_cast<unsigned char>(line[p])))
+                        ++p;
+                    size_t start = p;
+                    while (p < line.size() &&
+                           !std::isspace(static_cast<unsigned char>(line[p])))
+                        ++p;
+                    if (p > start)
+                        tokens.push_back({start, p - start});
+                }
+                if (tokens.size() < 2)
+                    break;
+                for (size_t t = 0; t < tokens.size(); ++t) {
+                    std::string cand_line = line;
+                    cand_line.erase(tokens[t].first, tokens[t].second);
+                    std::vector<std::string> cand = lines;
+                    cand[li] = cand_line;
+                    if (keep_if_fails(join_lines(cand))) {
+                        lines = std::move(cand);
+                        progress = true;
+                        break;
+                    }
+                    if (budget_gone_)
+                        break;
+                }
+            }
+        }
+    }
+
+    const std::function<bool(const std::string&)>& pred_;
+    ReduceOptions opts_;
+    std::string cur_;
+    size_t attempts_ = 0;
+    bool budget_gone_ = false;
+};
+
+} // namespace
+
+ReduceResult reduce_text(
+    const std::string& failing,
+    const std::function<bool(const std::string&)>& still_fails,
+    const ReduceOptions& opts) {
+    return Reducer(still_fails, opts).run(failing);
+}
+
+} // namespace svlc::fuzz

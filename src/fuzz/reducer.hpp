@@ -1,0 +1,35 @@
+// Greedy delta-debugging reducer: shrinks a failing input while a
+// caller-supplied predicate keeps holding. Line-chunk removal (ddmin
+// style, halving chunk sizes) followed by intra-line token deletion.
+// Deterministic, bounded by a predicate-evaluation budget.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace svlc::fuzz {
+
+struct ReduceOptions {
+    /// Maximum predicate evaluations across the whole reduction.
+    size_t max_attempts = 4000;
+    /// Full passes (chunk sweep + token sweep) before giving up on
+    /// further progress.
+    int max_rounds = 8;
+};
+
+struct ReduceResult {
+    std::string text;
+    size_t attempts = 0;
+    /// Reduction stopped on budget, not on a fixpoint.
+    bool hit_budget = false;
+};
+
+/// Shrinks `failing`. `still_fails` must return true on `failing` itself
+/// (otherwise the input is returned unchanged); every intermediate kept
+/// candidate satisfies it, so the result still reproduces the failure.
+ReduceResult reduce_text(const std::string& failing,
+                         const std::function<bool(const std::string&)>& still_fails,
+                         const ReduceOptions& opts = {});
+
+} // namespace svlc::fuzz

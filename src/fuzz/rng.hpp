@@ -1,0 +1,46 @@
+// Deterministic PRNG for the fuzzer. SplitMix64 rather than <random>
+// distributions: the stream must be byte-identical across platforms and
+// standard-library versions, because a (seed, index) pair in a fuzz
+// report is the reproduction recipe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace svlc::fuzz {
+
+class Rng {
+public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    uint64_t next() {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform-ish value in [0, n); 0 when n == 0. Modulo bias is
+    /// irrelevant for test-case generation.
+    uint64_t below(uint64_t n) { return n ? next() % n : 0; }
+
+    /// True with probability percent/100.
+    bool chance(uint32_t percent) { return below(100) < percent; }
+
+    template <typename T>
+    const T& pick(const std::vector<T>& v) {
+        return v[static_cast<size_t>(below(v.size()))];
+    }
+
+    /// Derives an independent stream for sub-task `index` (per-program
+    /// seeds from the root seed).
+    static uint64_t derive(uint64_t seed, uint64_t index) {
+        Rng r(seed ^ (index * 0xd1b54a32d192ed03ull + 0x2545f4914f6cdd1dull));
+        return r.next();
+    }
+
+private:
+    uint64_t state_;
+};
+
+} // namespace svlc::fuzz

@@ -380,7 +380,25 @@ void Parser::parse_instance(ast::Module& mod) {
 // Statements
 // ---------------------------------------------------------------------------
 
+Parser::DepthGuard::DepthGuard(Parser& p) : p_(p) {
+    ok_ = ++p_.depth_ <= kMaxNestingDepth;
+    if (!ok_ && !p_.depth_reported_) {
+        p_.depth_reported_ = true;
+        p_.diags_.error(DiagCode::UnexpectedToken, p_.peek().loc,
+                        "nesting too deep (limit " +
+                            std::to_string(kMaxNestingDepth) + ")");
+    }
+}
+
 ast::StmtPtr Parser::parse_stmt() {
+    DepthGuard depth(*this);
+    if (!depth.ok()) {
+        // Skip to a statement boundary so enclosing block loops make
+        // progress instead of re-dispatching on the same token.
+        synchronize_to({TokKind::Semi, TokKind::KwEnd, TokKind::KwEndmodule});
+        accept(TokKind::Semi);
+        return std::make_unique<SkipStmt>(peek().loc);
+    }
     switch (peek().kind) {
     case TokKind::KwBegin:
         return parse_block();
@@ -418,8 +436,15 @@ ast::StmtPtr Parser::parse_block() {
     SourceLoc loc = peek().loc;
     expect(TokKind::KwBegin);
     std::vector<StmtPtr> stmts;
-    while (!check(TokKind::KwEnd) && !check(TokKind::Eof))
+    while (!check(TokKind::KwEnd) && !check(TokKind::Eof)) {
+        size_t before = pos_;
         stmts.push_back(parse_stmt());
+        // Recovery may stop at a boundary token this loop does not own
+        // (a stray `endmodule` inside an unterminated block). Give up on
+        // the block rather than re-dispatching on that token forever.
+        if (pos_ == before)
+            break;
+    }
     expect(TokKind::KwEnd);
     return std::make_unique<BlockStmt>(std::move(stmts), loc);
 }
@@ -446,6 +471,7 @@ ast::StmtPtr Parser::parse_case() {
     expect(TokKind::RParen);
     std::vector<CaseItem> items;
     while (!check(TokKind::KwEndcase) && !check(TokKind::Eof)) {
+        size_t before = pos_;
         CaseItem item;
         if (accept(TokKind::KwDefault)) {
             expect(TokKind::Colon);
@@ -457,6 +483,11 @@ ast::StmtPtr Parser::parse_case() {
         }
         item.body = parse_stmt();
         items.push_back(std::move(item));
+        // Same progress guarantee as parse_block: a truncated case body
+        // can leave recovery parked on `end`/`endmodule`, which this loop
+        // does not consume.
+        if (pos_ == before)
+            break;
     }
     expect(TokKind::KwEndcase);
     return std::make_unique<CaseStmt>(std::move(subject), std::move(items),
@@ -529,6 +560,9 @@ ast::LabelPtr Parser::parse_label_expr() {
 }
 
 ast::LabelPtr Parser::parse_label_atom() {
+    DepthGuard depth(*this);
+    if (!depth.ok())
+        return Label::level("<error>", peek().loc);
     if (accept(TokKind::LParen)) {
         auto inner = parse_label_expr();
         expect(TokKind::RParen);
@@ -556,6 +590,9 @@ ast::LabelPtr Parser::parse_label_atom() {
 ast::ExprPtr Parser::parse_expr() { return parse_ternary(); }
 
 ast::ExprPtr Parser::parse_ternary() {
+    DepthGuard depth(*this);
+    if (!depth.ok())
+        return std::make_unique<NumberExpr>(BitVec(1, 0), true, peek().loc);
     auto cond = parse_binary(0);
     if (accept(TokKind::Question)) {
         SourceLoc loc = peek().loc;
@@ -615,7 +652,10 @@ ast::ExprPtr Parser::parse_binary(int min_prec) {
 }
 
 ast::ExprPtr Parser::parse_unary() {
+    DepthGuard depth(*this);
     SourceLoc loc = peek().loc;
+    if (!depth.ok())
+        return std::make_unique<NumberExpr>(BitVec(1, 0), true, loc);
     switch (peek().kind) {
     case TokKind::Minus:
         advance();
@@ -662,7 +702,10 @@ ast::ExprPtr Parser::parse_postfix() {
 }
 
 ast::ExprPtr Parser::parse_primary() {
+    DepthGuard depth(*this);
     SourceLoc loc = peek().loc;
+    if (!depth.ok())
+        return std::make_unique<NumberExpr>(BitVec(1, 0), true, loc);
     switch (peek().kind) {
     case TokKind::Number: {
         const Token& tok = advance();

@@ -70,10 +70,32 @@ private:
     ast::ExprPtr parse_postfix();
     ast::ExprPtr parse_primary();
 
+    /// Recursion cap for nested productions (parens, unary runs, begin
+    /// chains, ternaries, label parens). Pathological input would
+    /// otherwise overflow the native stack; at the cap the production
+    /// reports once and yields a placeholder node.
+    static constexpr int kMaxNestingDepth = 128;
+
+    /// RAII depth counter for one recursive production frame.
+    class DepthGuard {
+    public:
+        explicit DepthGuard(Parser& p);
+        ~DepthGuard() { --p_.depth_; }
+        /// False once the nesting cap is hit; the caller must bail out
+        /// with a stub instead of recursing further.
+        [[nodiscard]] bool ok() const { return ok_; }
+
+    private:
+        Parser& p_;
+        bool ok_;
+    };
+
     std::vector<Token> tokens_;
     size_t pos_ = 0;
     DiagnosticEngine& diags_;
     Token eof_;
+    int depth_ = 0;
+    bool depth_reported_ = false;
 };
 
 } // namespace svlc

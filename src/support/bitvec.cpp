@@ -1,14 +1,16 @@
 #include "support/bitvec.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cctype>
 #include <sstream>
 
 namespace svlc {
 
 BitVec::BitVec(uint32_t width, uint64_t value) : width_(width) {
-    assert(width >= 1 && width <= kMaxWidth);
+    if (width < 1 || width > kMaxWidth)
+        throw BitVecError("bit-vector width " + std::to_string(width) +
+                          " outside supported range 1.." +
+                          std::to_string(kMaxWidth));
     value_ = value & mask(width);
 }
 
@@ -91,15 +93,21 @@ BitVec BitVec::red_xor() const {
 }
 
 BitVec BitVec::slice(uint32_t hi, uint32_t lo) const {
-    assert(hi >= lo && hi < width_);
+    if (hi < lo || hi >= width_)
+        throw BitVecError("slice [" + std::to_string(hi) + ":" +
+                          std::to_string(lo) + "] out of range for width " +
+                          std::to_string(width_));
     uint32_t w = hi - lo + 1;
     return BitVec(w, value_ >> lo);
 }
 
 BitVec BitVec::concat(BitVec low) const {
-    uint32_t w = width_ + low.width_;
-    assert(w <= kMaxWidth);
-    return BitVec(w, (value_ << low.width_) | low.value_);
+    uint64_t w = uint64_t{width_} + low.width_;
+    if (w > kMaxWidth)
+        throw BitVecError("concatenation width " + std::to_string(w) +
+                          " exceeds " + std::to_string(kMaxWidth) + " bits");
+    return BitVec(static_cast<uint32_t>(w),
+                  (value_ << low.width_) | low.value_);
 }
 
 std::string BitVec::str() const {

@@ -4,15 +4,25 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace svlc {
+
+/// Width-invariant violation (width outside 1..64, over-wide concat,
+/// out-of-range slice). A checked error rather than an assert so release
+/// builds fail loudly instead of silently truncating a shift.
+class BitVecError : public std::runtime_error {
+public:
+    explicit BitVecError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class BitVec {
 public:
     static constexpr uint32_t kMaxWidth = 64;
 
     BitVec() = default;
+    /// Throws BitVecError unless 1 <= width <= kMaxWidth.
     BitVec(uint32_t width, uint64_t value);
 
     /// Parses Verilog-style literals: "16'h8000", "4'b1010", "8'd255",
@@ -68,9 +78,10 @@ public:
     [[nodiscard]] BitVec red_or() const;
     [[nodiscard]] BitVec red_xor() const;
 
-    /// Bits [hi:lo]; requires hi >= lo and hi < width.
+    /// Bits [hi:lo]; throws BitVecError unless hi >= lo and hi < width.
     [[nodiscard]] BitVec slice(uint32_t hi, uint32_t lo) const;
     /// Verilog-style concatenation {a, b}: `a` occupies the high bits.
+    /// Throws BitVecError when the combined width exceeds kMaxWidth.
     [[nodiscard]] BitVec concat(BitVec low) const;
 
     /// Renders as "<width>'h<hex>".

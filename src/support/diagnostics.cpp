@@ -42,6 +42,17 @@ const char* diag_code_name(DiagCode code) {
     return "unknown";
 }
 
+bool diag_code_from_name(std::string_view name, DiagCode& out) {
+    for (int c = 0; c <= static_cast<int>(DiagCode::Unsupported); ++c) {
+        auto code = static_cast<DiagCode>(c);
+        if (name == diag_code_name(code)) {
+            out = code;
+            return true;
+        }
+    }
+    return false;
+}
+
 void DiagnosticEngine::report(Severity sev, DiagCode code, SourceLoc loc,
                               std::string msg) {
     if (sev == Severity::Error)

@@ -5,6 +5,7 @@
 #include "support/source_manager.hpp"
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace svlc {
@@ -55,6 +56,10 @@ enum class DiagCode {
 };
 
 const char* diag_code_name(DiagCode code);
+
+/// Inverse of diag_code_name ("comb-loop" → DiagCode::CombLoop); false
+/// for unknown names.
+bool diag_code_from_name(std::string_view name, DiagCode& out);
 
 struct Diagnostic {
     Severity severity = Severity::Error;

@@ -4,25 +4,73 @@
 
 namespace svlc {
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not well-formed UTF-8 (invalid lead byte, truncated or
+/// out-of-range continuation, overlong encoding, surrogate, > U+10FFFF).
+size_t utf8_seq_len(std::string_view s, size_t i) {
+    auto byte = [&](size_t k) -> unsigned {
+        return k < s.size() ? static_cast<unsigned char>(s[k]) : 0x100u;
+    };
+    unsigned b0 = byte(i);
+    auto cont = [&](size_t k, unsigned lo = 0x80, unsigned hi = 0xbf) {
+        unsigned b = byte(k);
+        return b >= lo && b <= hi;
+    };
+    if (b0 >= 0xc2 && b0 <= 0xdf)
+        return cont(i + 1) ? 2 : 0;
+    if (b0 == 0xe0)
+        return cont(i + 1, 0xa0) && cont(i + 2) ? 3 : 0;
+    if ((b0 >= 0xe1 && b0 <= 0xec) || b0 == 0xee || b0 == 0xef)
+        return cont(i + 1) && cont(i + 2) ? 3 : 0;
+    if (b0 == 0xed) // exclude UTF-16 surrogates U+D800..DFFF
+        return cont(i + 1, 0x80, 0x9f) && cont(i + 2) ? 3 : 0;
+    if (b0 == 0xf0)
+        return cont(i + 1, 0x90) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+    if (b0 >= 0xf1 && b0 <= 0xf3)
+        return cont(i + 1) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+    if (b0 == 0xf4) // cap at U+10FFFF
+        return cont(i + 1, 0x80, 0x8f) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+    return 0;
+}
+
+} // namespace
+
 std::string JsonWriter::escape(std::string_view s) {
     std::string out;
     out.reserve(s.size() + 8);
-    for (char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\r': out += "\\r"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x",
-                              static_cast<unsigned char>(c));
-                out += buf;
-            } else {
-                out += c;
+    for (size_t i = 0; i < s.size();) {
+        unsigned char c = static_cast<unsigned char>(s[i]);
+        if (c < 0x80) {
+            switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20 || c == 0x7f) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
             }
+            ++i;
+            continue;
+        }
+        // Multi-byte input: pass well-formed UTF-8 through unchanged so
+        // the output stays valid JSON text; anything else (stray
+        // continuation bytes, Latin-1, truncated sequences) becomes
+        // U+FFFD rather than corrupting the whole document.
+        if (size_t len = utf8_seq_len(s, i)) {
+            out.append(s.substr(i, len));
+            i += len;
+        } else {
+            out += "\xef\xbf\xbd";
+            ++i;
         }
     }
     return out;

@@ -112,5 +112,37 @@ TEST(BitVec, ValueTruncatesOnParseToWidth) {
     EXPECT_EQ(v.value(), 0xFu);
 }
 
+// Width-invariant violations must be checked errors in EVERY build mode:
+// these used to be asserts, which vanish under NDEBUG and let a 65-bit
+// concat silently wrap its shift amount.
+TEST(BitVec, OutOfRangeWidthThrows) {
+    EXPECT_THROW(BitVec(0, 0), BitVecError);
+    EXPECT_THROW(BitVec(65, 0), BitVecError);
+    EXPECT_THROW(BitVec(1u << 20, 0), BitVecError);
+    EXPECT_NO_THROW(BitVec(1, 1));
+    EXPECT_NO_THROW(BitVec(64, ~uint64_t{0}));
+}
+
+TEST(BitVec, ConcatAtSixtyFourBitBoundary) {
+    BitVec hi(32, 0xDEADBEEF), lo(32, 0xCAFEF00D);
+    BitVec full = hi.concat(lo);
+    EXPECT_EQ(full.width(), 64u);
+    EXPECT_EQ(full.value(), 0xDEADBEEFCAFEF00Dull);
+
+    BitVec one(1, 1);
+    EXPECT_EQ(one.concat(BitVec(63, 0)).width(), 64u);
+    // 64 + 1 = 65 bits: must throw, not wrap.
+    EXPECT_THROW(full.concat(one), BitVecError);
+    EXPECT_THROW(one.concat(full), BitVecError);
+}
+
+TEST(BitVec, SliceBoundsAreChecked) {
+    BitVec v(8, 0xA5);
+    EXPECT_EQ(v.slice(7, 0).value(), 0xA5u);
+    EXPECT_EQ(v.slice(3, 0).value(), 0x5u);
+    EXPECT_THROW(v.slice(8, 0), BitVecError);  // hi >= width
+    EXPECT_THROW(v.slice(2, 5), BitVecError);  // hi < lo
+}
+
 } // namespace
 } // namespace svlc

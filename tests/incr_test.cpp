@@ -14,8 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 namespace svlc::test {
 namespace {
@@ -445,6 +447,109 @@ TEST_F(IncrTest, WatchRunsIterationsAndStops) {
                                 devnull),
               2);
     std::fclose(devnull);
+}
+
+// --- stat-based dirty detection (racy-stat window) -------------------------
+
+TEST(WatchStat, IdenticalRecentSignatureIsNotTrusted) {
+    // A same-size rewrite within the filesystem's timestamp granularity
+    // leaves (mtime, size) unchanged; inside the racy window the watcher
+    // must fall back to re-hashing instead of declaring the file clean.
+    driver::StatSig sig;
+    sig.mtime_ns = 1'000'000'000'000;
+    sig.size = 64;
+    int64_t now = sig.mtime_ns + driver::kStatRacyWindowNs - 1;
+    EXPECT_FALSE(driver::stat_proves_unchanged(sig, sig, now));
+    // Old enough: the signature alone proves the content unchanged.
+    now = sig.mtime_ns + driver::kStatRacyWindowNs;
+    EXPECT_TRUE(driver::stat_proves_unchanged(sig, sig, now));
+}
+
+TEST(WatchStat, ChangedSignatureOrUnsetPrevIsNeverTrusted) {
+    driver::StatSig prev;
+    prev.mtime_ns = 5'000'000'000;
+    prev.size = 10;
+    driver::StatSig cur = prev;
+    int64_t old_now = prev.mtime_ns + 10 * driver::kStatRacyWindowNs;
+
+    cur.size = 11;
+    EXPECT_FALSE(driver::stat_proves_unchanged(prev, cur, old_now));
+    cur = prev;
+    cur.mtime_ns += 1;
+    EXPECT_FALSE(driver::stat_proves_unchanged(prev, cur, old_now));
+
+    driver::StatSig unset; // mtime_ns = -1: no prior observation
+    EXPECT_FALSE(driver::stat_proves_unchanged(unset, prev, old_now));
+}
+
+TEST_F(IncrTest, WatchSeesSameSizeSameSecondRewrite) {
+    // Regression: two same-length writes inside one mtime tick used to be
+    // invisible to the stat-based skip, so the second verdict never
+    // updated. kSecure and the broken variant below differ in exactly one
+    // byte ('a' -> 'z' makes the assign read an undeclared net).
+    std::string broken(kSecure);
+    size_t pos = broken.find("assign b = a;");
+    ASSERT_NE(pos, std::string::npos);
+    broken[pos + std::string("assign b = ").size()] = 'z';
+    ASSERT_EQ(broken.size(), std::string(kSecure).size());
+
+    std::string path = write("a.svlc", kSecure);
+    driver::StatSig first;
+    ASSERT_TRUE(driver::stat_file(path, first));
+
+    // Rewrite immediately and pin mtime to the first observation,
+    // simulating a coarse-granularity filesystem tick.
+    write("a.svlc", broken);
+    fs::last_write_time(
+        path, fs::file_time_type(std::chrono::nanoseconds(first.mtime_ns)));
+    driver::StatSig second;
+    ASSERT_TRUE(driver::stat_file(path, second));
+    ASSERT_EQ(first, second); // stat cannot distinguish the rewrite
+
+    // The racy window is what saves us: the mtime is recent, so the
+    // signature match must NOT be trusted.
+    EXPECT_FALSE(driver::stat_proves_unchanged(
+        first, second, driver::file_clock_now_ns()));
+}
+
+TEST_F(IncrTest, WatchReverifiesAfterSameSignatureRewrite) {
+    // End-to-end: iteration 1 verifies the secure version; mid-poll the
+    // file is rewritten same-size with its mtime pinned back (a rewrite
+    // within one timestamp tick); iteration 2 must re-read and flip the
+    // verdict instead of trusting the unchanged stat signature.
+    std::string broken(kSecure);
+    size_t pos = broken.find("assign b = a;");
+    ASSERT_NE(pos, std::string::npos);
+    broken[pos + std::string("assign b = ").size()] = 'z';
+    ASSERT_EQ(broken.size(), std::string(kSecure).size());
+
+    std::string path = write("a.svlc", kSecure);
+    driver::StatSig first;
+    ASSERT_TRUE(driver::stat_file(path, first));
+
+    driver::WatchOptions opts;
+    opts.interval_ms = 600;
+    opts.max_iterations = 2;
+    std::thread writer([&] {
+        // Lands inside iteration 1's poll sleep: well after its verify
+        // (sub-ms for this module), well before iteration 2.
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        write("a.svlc", broken);
+        fs::last_write_time(path, fs::file_time_type(std::chrono::nanoseconds(
+                                      first.mtime_ns)));
+    });
+
+    fs::path log = dir_ / "watch.log";
+    std::FILE* out = std::fopen(log.string().c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    int rc = driver::run_watch(dir_.string(), opts, out, out);
+    std::fclose(out);
+    writer.join();
+    EXPECT_EQ(rc, 0);
+
+    std::string text;
+    ASSERT_TRUE(read_file(log.string(), text));
+    EXPECT_NE(text.find("(was secure)"), std::string::npos) << text;
 }
 
 } // namespace

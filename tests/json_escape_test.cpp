@@ -1,0 +1,74 @@
+// JsonWriter::escape hardening: fuzz reports embed raw generated (and
+// mutated, i.e. arbitrary-byte) program text, so the escaper must turn
+// ANY byte string into valid JSON — RFC 8259 escapes for controls,
+// DEL escaped for safety, and invalid UTF-8 replaced with U+FFFD so the
+// output stays decodable.
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace svlc {
+namespace {
+
+std::string esc(std::string_view s) { return JsonWriter::escape(s); }
+
+TEST(JsonEscape, BasicEscapes) {
+    EXPECT_EQ(esc("plain"), "plain");
+    EXPECT_EQ(esc("a\"b"), "a\\\"b");
+    EXPECT_EQ(esc("a\\b"), "a\\\\b");
+    EXPECT_EQ(esc("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+}
+
+TEST(JsonEscape, ControlCharactersUseUnicodeEscapes) {
+    EXPECT_EQ(esc(std::string("\x01", 1)), "\\u0001");
+    EXPECT_EQ(esc(std::string("\x1f", 1)), "\\u001f");
+    EXPECT_EQ(esc(std::string("\x0b", 1)), "\\u000b");
+}
+
+TEST(JsonEscape, EmbeddedNulIsEscapedNotTruncated) {
+    std::string s("a\0b", 3);
+    EXPECT_EQ(esc(s), "a\\u0000b");
+}
+
+TEST(JsonEscape, DelIsEscaped) {
+    // 0x7f is printable-adjacent but hostile to terminals and some JSON
+    // consumers; escape it like the C0 controls.
+    EXPECT_EQ(esc(std::string("\x7f", 1)), "\\u007f");
+    EXPECT_EQ(esc(std::string("x\x7fy", 3)), "x\\u007fy");
+}
+
+TEST(JsonEscape, ValidUtf8PassesThrough) {
+    EXPECT_EQ(esc("caf\xc3\xa9"), "caf\xc3\xa9");          // é
+    EXPECT_EQ(esc("\xe2\x82\xac"), "\xe2\x82\xac");        // €
+    EXPECT_EQ(esc("\xf0\x9f\x98\x80"), "\xf0\x9f\x98\x80"); // 😀
+    EXPECT_EQ(esc("\xef\xbf\xbd"), "\xef\xbf\xbd");        // U+FFFD itself
+    EXPECT_EQ(esc("\xf4\x8f\xbf\xbf"), "\xf4\x8f\xbf\xbf"); // U+10FFFF
+}
+
+TEST(JsonEscape, InvalidUtf8BecomesReplacementCharacter) {
+    const std::string rep = "\xef\xbf\xbd";
+    EXPECT_EQ(esc("\xff"), rep);             // never-valid byte
+    EXPECT_EQ(esc("\x80"), rep);             // lone continuation
+    EXPECT_EQ(esc("\xc3"), rep);             // truncated 2-byte seq
+    EXPECT_EQ(esc("\xc0\xaf"), rep + rep);   // overlong encoding
+    EXPECT_EQ(esc("\xe2\x82"), rep + rep);   // truncated 3-byte seq
+    EXPECT_EQ(esc("\xed\xa0\x80"), rep + rep + rep); // UTF-16 surrogate
+    EXPECT_EQ(esc("\xf4\x90\x80\x80"), rep + rep + rep + rep); // >U+10FFFF
+    EXPECT_EQ(esc("a\xffz"), "a" + rep + "z"); // resync after bad byte
+}
+
+TEST(JsonEscape, MixedHostileStringStaysStructurallyValid) {
+    std::string hostile("\"\\\x00\x7f\xff\xc3\xa9\n", 8);
+    std::string out = esc(hostile);
+    // No raw control bytes, quotes, or invalid sequences may remain.
+    for (unsigned char c : out) {
+        EXPECT_GE(c, 0x20u);
+        EXPECT_NE(c, 0x7fu);
+    }
+    EXPECT_EQ(out, "\\\"\\\\\\u0000\\u007f\xef\xbf\xbd\xc3\xa9\\n");
+}
+
+} // namespace
+} // namespace svlc

@@ -255,5 +255,110 @@ endmodule
     EXPECT_NE(printed.find("posedge clk"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Recovery hardening: truncated and hostile inputs must terminate with a
+// bounded diagnostic cascade, never hang or recurse without limit.
+// ---------------------------------------------------------------------------
+
+TEST(ParserRecovery, EveryPrefixOfAProgramTerminates) {
+    // Cutting a program mid-token, mid-expression, mid-block, or
+    // mid-module exercises every recovery path; each prefix must parse to
+    // completion with a sane number of diagnostics.
+    const std::string src = R"(lattice { level L; level H; flow L -> H; }
+function f(x:1) { 0 -> L; default -> H; }
+module top(input com {L} a, output com [7:0] {H} b);
+  reg seq {L} m = 1'h0;
+  reg seq [7:0] {f(m)} r;
+  wire com {L} w;
+  assign w = a ^ 1'h1;
+  assign b = {r[3:0], 4'hA};
+  always @(seq) begin
+    m <= a;
+    case (m)
+      0: r <= endorse(8'h12, H);
+      default: r <= r;
+    endcase
+    if (next(m) == 1'h0) r <= 8'h0;
+    else r <= r;
+  end
+endmodule
+)";
+    for (size_t len = 0; len <= src.size(); ++len) {
+        SourceManager sm;
+        DiagnosticEngine diags(&sm);
+        (void)Parser::parse_text(src.substr(0, len), sm, diags);
+        // Bounded cascade: a prefix can't produce more errors than a
+        // small multiple of its token count.
+        EXPECT_LT(diags.error_count(), 64u) << "prefix length " << len;
+    }
+}
+
+TEST(ParserRecovery, StrayEndmoduleInsideBlockTerminates) {
+    // Regression for a real hang found by the fuzzer (seed 4, index 275):
+    // a spliced `begin` orphans the block's `end`, leaving statement
+    // recovery parked on `endmodule`, which parse_block used to
+    // re-dispatch on forever.
+    size_t errs = parse_error_count("lattice { level L; }\n"
+                                    "module top(output com {L} o);\n"
+                                    "  reg seq {L} m;\n"
+                                    "  always @(seq) begin\n"
+                                    "    if (next(m) begin== 1'h1) m <= m;\n"
+                                    "  end\n"
+                                    "endmodule\n");
+    EXPECT_GT(errs, 0u);
+    EXPECT_LT(errs, 32u);
+}
+
+TEST(ParserRecovery, TruncatedCaseParkedOnEndTerminates) {
+    // `end` closes the always-block, but case recovery stops at it
+    // without consuming; the case loop must not spin.
+    size_t errs = parse_error_count("lattice { level L; }\n"
+                                    "module top(output com {L} o);\n"
+                                    "  reg seq {L} m;\n"
+                                    "  always @(seq) begin\n"
+                                    "    case (m)\n"
+                                    "      0: m <= 1'h0;\n"
+                                    "  end\n"
+                                    "endmodule\n");
+    EXPECT_GT(errs, 0u);
+    EXPECT_LT(errs, 32u);
+}
+
+TEST(ParserRecovery, DeepNestingHitsDepthLimitNotTheStack) {
+    // 20k nested parens would overflow the stack without the depth cap;
+    // with it, parsing finishes with a single depth diagnostic plus a
+    // bounded trail.
+    std::string deep = "lattice { level L; }\n"
+                       "module top(output com {L} o);\n  assign o = ";
+    for (int i = 0; i < 20000; ++i)
+        deep += '(';
+    deep += "1'h1";
+    for (int i = 0; i < 20000; ++i)
+        deep += ')';
+    deep += ";\nendmodule\n";
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    (void)Parser::parse_text(deep, sm, diags);
+    EXPECT_TRUE(diags.has_errors());
+    EXPECT_NE(diags.render().find("nesting too deep"), std::string::npos);
+    // One error per unwound frame at most: bounded by the depth cap,
+    // not the 20k input parens.
+    EXPECT_LT(diags.error_count(), 512u);
+}
+
+TEST(ParserRecovery, DeepBeginChainTerminates) {
+    std::string deep = "lattice { level L; }\n"
+                       "module top(output com {L} o);\n  always @(*) ";
+    for (int i = 0; i < 5000; ++i)
+        deep += "begin ";
+    // No matching `end`s at all: truncated mid-nesting.
+    deep += "\n";
+    SourceManager sm;
+    DiagnosticEngine diags(&sm);
+    (void)Parser::parse_text(deep, sm, diags);
+    EXPECT_TRUE(diags.has_errors());
+    EXPECT_LT(diags.error_count(), 10064u); // bounded by input size
+}
+
 } // namespace
 } // namespace svlc

@@ -22,6 +22,8 @@
 #include "codegen/verilog.hpp"
 #include "driver/driver.hpp"
 #include "driver/watch.hpp"
+#include "fuzz/reducer.hpp"
+#include "fuzz/runner.hpp"
 #include "pipeline/compilation.hpp"
 #include "proc/assembler.hpp"
 #include "proc/isa.hpp"
@@ -29,6 +31,8 @@
 #include "sim/simulator.hpp"
 #include "sim/vcd.hpp"
 #include "solver/entail.hpp"
+#include "support/diagnostics.hpp"
+#include "support/fsutil.hpp"
 #include "support/json.hpp"
 #include "synth/synthesize.hpp"
 #include "verify/taint.hpp"
@@ -36,6 +40,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -68,7 +73,11 @@ int usage() {
                  "  svlc taint <file.svlc> [--top M] --cycles N [--set in=val]...\n"
                  "  svlc dump-cpu <labeled|baseline|vulnerable|quad> [outfile]\n"
                  "  svlc asm <file.s> [outfile.hex]\n"
-                 "  svlc disasm <file.hex>\n");
+                 "  svlc disasm <file.hex>\n"
+                 "  svlc fuzz [--seed N] [--count M] [--oracle all|LIST]\n"
+                 "            [--corpus DIR] [--no-reduce] [--dump]\n"
+                 "  svlc reduce <file.svlc> [--oracle NAME|diag:CODE]\n"
+                 "            [--out out.svlc]\n");
     return 2;
 }
 
@@ -104,6 +113,13 @@ struct Args {
     // watch
     uint64_t interval_ms = 500;
     uint64_t iterations = 0;
+    // fuzz / reduce
+    uint64_t fuzz_seed = 1;
+    uint64_t fuzz_count = 100;
+    std::string oracle; // fuzz: oracle set; reduce: oracle or diag:CODE
+    std::string corpus_dir = "fuzz-corpus";
+    bool no_reduce = false;
+    bool dump = false;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -124,6 +140,34 @@ bool parse_args(int argc, char** argv, Args& args) {
         if (i < argc)
             args.outfile = argv[i++];
         return !args.file.empty();
+    }
+    if (args.command == "fuzz") {
+        // No positional argument; everything is a flag.
+        for (; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto next = [&]() -> const char* {
+                return i + 1 < argc ? argv[++i] : nullptr;
+            };
+            const char* v = nullptr;
+            if (arg == "--seed" && (v = next()))
+                args.fuzz_seed = std::strtoull(v, nullptr, 0);
+            else if (arg == "--count" && (v = next()))
+                args.fuzz_count = std::strtoull(v, nullptr, 0);
+            else if (arg == "--oracle" && (v = next()))
+                args.oracle = v;
+            else if (arg == "--corpus" && (v = next()))
+                args.corpus_dir = v;
+            else if (arg == "--no-reduce")
+                args.no_reduce = true;
+            else if (arg == "--dump")
+                args.dump = true;
+            else {
+                std::fprintf(stderr, "fuzz: unknown option '%s'\n",
+                             arg.c_str());
+                return false;
+            }
+        }
+        return true;
     }
     if (i >= argc)
         return false;
@@ -249,6 +293,16 @@ bool parse_args(int argc, char** argv, Args& args) {
             args.warm = true;
         } else if (arg == "--cpus") {
             args.cpus = true;
+        } else if (arg == "--oracle") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.oracle = v;
+        } else if (arg == "--out") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.outfile = v;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return false;
@@ -697,12 +751,120 @@ int cmd_disasm(const Args& args) {
     return 0;
 }
 
-} // namespace
+int cmd_fuzz(const Args& args) {
+    fuzz::FuzzOptions opts;
+    opts.seed = args.fuzz_seed;
+    opts.count = args.fuzz_count;
+    opts.corpus_dir = args.corpus_dir;
+    opts.reduce_failures = !args.no_reduce;
+    opts.dump_only = args.dump;
+    if (!args.oracle.empty() &&
+        !fuzz::parse_oracle_set(args.oracle, opts.oracles)) {
+        std::fprintf(stderr,
+                     "fuzz: unknown oracle set '%s' (expected all or a "
+                     "comma list of no-crash,diff,soundness,roundtrip,"
+                     "xform)\n",
+                     args.oracle.c_str());
+        return 2;
+    }
+    fuzz::FuzzStats stats = fuzz::run_fuzz(opts, stdout);
+    if (stats.violations.empty())
+        return 0;
+    std::fprintf(stderr, "fuzz: %zu oracle violation(s); reports in %s\n",
+                 stats.violations.size(), opts.corpus_dir.c_str());
+    return 1;
+}
 
-int main(int argc, char** argv) {
-    Args args;
-    if (!parse_args(argc, argv, args))
-        return usage();
+/// Builds the reduce predicate from --oracle: "diag:<code>" keeps
+/// shrinking while the named diagnostic is still reported; an oracle set
+/// keeps shrinking while any of those oracles still fires.
+bool reduce_predicate(const Args& args, const std::string& spec,
+                      std::function<bool(const std::string&)>& pred,
+                      std::string& describe) {
+    if (spec.rfind("diag:", 0) == 0) {
+        std::string name = spec.substr(5);
+        DiagCode code;
+        if (!diag_code_from_name(name, code)) {
+            std::fprintf(stderr, "reduce: unknown diagnostic code '%s'\n",
+                         name.c_str());
+            return false;
+        }
+        check::CheckOptions copts = check_options(args);
+        pred = [code, copts](const std::string& cand) {
+            pipeline::CompilationOptions popts;
+            popts.check = copts;
+            pipeline::Compilation comp(popts);
+            comp.load_text(cand, "reduce.svlc");
+            comp.check();
+            return comp.diags().has_code(code);
+        };
+        describe = "diagnostic " + name;
+        return true;
+    }
+    fuzz::OracleSet set;
+    if (!fuzz::parse_oracle_set(spec, set)) {
+        std::fprintf(stderr, "reduce: unknown oracle '%s'\n", spec.c_str());
+        return false;
+    }
+    fuzz::OracleConfig cfg;
+    pred = [set, cfg](const std::string& cand) {
+        return !fuzz::run_oracles(set, cand, cfg).empty();
+    };
+    describe = "oracle set " + spec;
+    return true;
+}
+
+int cmd_reduce(const Args& args) {
+    std::string source;
+    if (!read_file(args.file, source)) {
+        std::fprintf(stderr, "reduce: cannot read %s\n", args.file.c_str());
+        return 1;
+    }
+    std::string spec = args.oracle;
+    if (spec.empty()) {
+        // Auto-detect: find which oracle the input fails.
+        fuzz::OracleConfig cfg;
+        auto findings =
+            fuzz::run_oracles(fuzz::OracleSet::all(), source, cfg);
+        if (findings.empty()) {
+            std::fprintf(stderr,
+                         "reduce: %s does not violate any oracle; pass "
+                         "--oracle NAME or --oracle diag:CODE for a "
+                         "different predicate\n",
+                         args.file.c_str());
+            return 1;
+        }
+        spec = fuzz::oracle_name(findings.front().oracle);
+        std::fprintf(stderr, "reduce: input fails oracle %s\n",
+                     spec.c_str());
+    }
+    std::function<bool(const std::string&)> pred;
+    std::string describe;
+    if (!reduce_predicate(args, spec, pred, describe))
+        return 2;
+    fuzz::ReduceResult res = fuzz::reduce_text(source, pred);
+    if (res.text == source && !pred(source)) {
+        std::fprintf(stderr,
+                     "reduce: input does not reproduce %s; nothing to do\n",
+                     describe.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "reduce: %zu -> %zu bytes (%zu predicate runs)\n",
+                 source.size(), res.text.size(), res.attempts);
+    if (!args.outfile.empty()) {
+        std::string err;
+        if (!write_file_atomic(args.outfile, res.text, &err)) {
+            std::fprintf(stderr, "reduce: %s\n", err.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "reduce: wrote %s\n", args.outfile.c_str());
+    } else {
+        std::fputs(res.text.c_str(), stdout);
+    }
+    return 0;
+}
+
+int dispatch(const Args& args) {
     if (args.command == "check")
         return cmd_check(args);
     if (args.command == "batch")
@@ -725,5 +887,25 @@ int main(int argc, char** argv) {
         return cmd_asm(args);
     if (args.command == "disasm")
         return cmd_disasm(args);
+    if (args.command == "fuzz")
+        return cmd_fuzz(args);
+    if (args.command == "reduce")
+        return cmd_reduce(args);
     return usage();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    if (!parse_args(argc, argv, args))
+        return usage();
+    try {
+        return dispatch(args);
+    } catch (const std::exception& e) {
+        // Backstop for internal invariant violations (e.g. BitVecError):
+        // a diagnostic and a distinct exit code instead of an abort.
+        std::fprintf(stderr, "svlc: internal error: %s\n", e.what());
+        return 3;
+    }
 }
