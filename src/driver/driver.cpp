@@ -69,14 +69,16 @@ VerificationDriver::VerificationDriver(DriverOptions opts)
     }
 }
 
-JobResult VerificationDriver::run_job_once(const JobSpec& spec,
-                                           const std::string& text) {
+JobResult verify_text(pipeline::Compilation& comp, const JobSpec& spec,
+                      const std::string& text, uint64_t default_timeout_ms,
+                      solver::EntailCache* cache) {
     JobResult res;
     res.name = spec.name;
 
     Clock::time_point start = Clock::now();
     double cpu_start = thread_cpu_ms();
-    uint64_t timeout_ms = spec.timeout_ms ? spec.timeout_ms : opts_.timeout_ms;
+    uint64_t timeout_ms =
+        spec.timeout_ms ? spec.timeout_ms : default_timeout_ms;
     Clock::time_point deadline{};
     if (timeout_ms)
         deadline = start + std::chrono::milliseconds(timeout_ms);
@@ -87,13 +89,10 @@ JobResult VerificationDriver::run_job_once(const JobSpec& spec,
         return res;
     };
 
-    pipeline::CompilationOptions popts;
-    popts.top = spec.top;
-    popts.check = opts_.check;
-    popts.check.solver.deadline = deadline;
-    popts.check.solver.cache = opts_.use_cache ? &cache_ : nullptr;
-    pipeline::Compilation comp(popts);
-    comp.load_text(text, spec.name);
+    comp.options().top = spec.top;
+    comp.options().check.solver.deadline = deadline;
+    comp.options().check.solver.cache = cache;
+    comp.reload_text(text, spec.name);
     if (!comp.elaborate()) {
         res.diagnostics = comp.render_diagnostics();
         return finish(JobStatus::Rejected);
@@ -112,6 +111,31 @@ JobResult VerificationDriver::run_job_once(const JobSpec& spec,
     if (cres.timed_out)
         return finish(JobStatus::Timeout);
     return finish(cres.ok ? JobStatus::Secure : JobStatus::Rejected);
+}
+
+bool store_job_verdict(incr::ArtifactStore& store, const std::string& fp,
+                       const JobResult& res) {
+    if (fp.empty() || (res.status != JobStatus::Secure &&
+                       res.status != JobStatus::Rejected))
+        return false;
+    incr::StoredVerdict v;
+    v.secure = res.status == JobStatus::Secure;
+    v.obligations = res.obligations;
+    v.failed = res.failed;
+    v.downgrades = res.downgrades;
+    v.diagnostics = res.diagnostics;
+    v.flagged = res.flagged;
+    store.store_verdict(fp, v);
+    return true;
+}
+
+JobResult VerificationDriver::run_job_once(const JobSpec& spec,
+                                           const std::string& text) {
+    pipeline::CompilationOptions popts;
+    popts.check = opts_.check;
+    pipeline::Compilation comp(std::move(popts));
+    return verify_text(comp, spec, text, opts_.timeout_ms,
+                       opts_.use_cache ? &cache_ : nullptr);
 }
 
 JobResult VerificationDriver::run_job(const JobSpec& spec) {
@@ -155,21 +179,8 @@ JobResult VerificationDriver::run_job(const JobSpec& spec) {
             JobResult res = run_job_once(spec, text);
             res.attempts = attempt;
             res.fingerprint = fp;
-            // Only deterministic verdicts persist: a timeout depends on
-            // the deadline and an error on transient conditions, so
-            // replaying either could mask a now-healthy run.
-            if (store_ && !fp.empty() &&
-                (res.status == JobStatus::Secure ||
-                 res.status == JobStatus::Rejected)) {
-                incr::StoredVerdict v;
-                v.secure = res.status == JobStatus::Secure;
-                v.obligations = res.obligations;
-                v.failed = res.failed;
-                v.downgrades = res.downgrades;
-                v.diagnostics = res.diagnostics;
-                v.flagged = res.flagged;
-                store_->store_verdict(fp, v);
-            }
+            if (store_)
+                store_job_verdict(*store_, fp, res);
             return res;
         } catch (const std::exception& e) {
             if (attempt >= 2) {

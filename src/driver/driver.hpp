@@ -125,6 +125,25 @@ struct BatchReport {
     [[nodiscard]] std::string summary() const;
 };
 
+/// The single-job verification entry shared by the batch driver and the
+/// serve daemon: (re)loads `text` into `comp` — whose options carry the
+/// checker configuration — runs the pipeline, and fills a JobResult with
+/// verdict, per-obligation records, solver stats, diagnostics, and
+/// timings. Installs spec.top, the per-run deadline (spec.timeout_ms,
+/// falling back to `default_timeout_ms`; 0 = unlimited), and `cache`
+/// (may be null) into comp's options before reloading, so a serve
+/// session can call this repeatedly on one hot Compilation.
+JobResult verify_text(pipeline::Compilation& comp, const JobSpec& spec,
+                      const std::string& text, uint64_t default_timeout_ms,
+                      solver::EntailCache* cache);
+
+/// Persists a job's verdict under fingerprint `fp`. Only deterministic
+/// verdicts (Secure/Rejected) are stored — a timeout depends on the
+/// deadline and an error on transient conditions, so replaying either
+/// could mask a now-healthy run. Returns true when stored.
+bool store_job_verdict(incr::ArtifactStore& store, const std::string& fp,
+                       const JobResult& res);
+
 class VerificationDriver {
 public:
     explicit VerificationDriver(DriverOptions opts = {});

@@ -3,8 +3,11 @@
 #include "parse/parser.hpp"
 #include "sem/elaborate.hpp"
 #include "sem/wellformed.hpp"
+#include "solver/entail.hpp"
 #include "support/fsutil.hpp"
 #include "support/json.hpp"
+
+#include <cstdio>
 
 namespace svlc::pipeline {
 
@@ -26,6 +29,17 @@ void Compilation::load_text(std::string text, std::string name) {
     text_ = std::move(text);
     buffer_name_ = std::move(name);
     loaded_ = true;
+}
+
+void Compilation::reload_text(std::string text, std::string name) {
+    design_.reset();
+    check_result_ = {};
+    sm_ = SourceManager();
+    diags_ = DiagnosticEngine(&sm_);
+    loaded_ = false;
+    elaborated_ = false;
+    checked_ = false;
+    load_text(std::move(text), std::move(name));
 }
 
 const hir::Design* Compilation::elaborate() {
@@ -129,6 +143,84 @@ void write_obligation_record(JsonWriter& w, const ObligationRecord& rec,
     if (with_timing)
         w.kv("solve_ms", rec.solve_ms, 3);
     w.end_object();
+}
+
+std::string check_report_json(const Compilation& comp,
+                              const check::CheckResult& result,
+                              const std::string& file_label) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "svlc-check-report/v1");
+    w.kv("file", file_label);
+    w.kv("status", result.ok ? "secure" : "rejected");
+    w.key("config").begin_object();
+    if (!comp.options().top.empty())
+        w.kv("top", comp.options().top);
+    w.kv("solver", solver::backend_id(comp.options().check.solver.backend));
+    w.kv("mode",
+         comp.options().check.mode == check::CheckerMode::ClassicSecVerilog
+             ? "classic"
+             : "lc");
+    w.end_object();
+    w.key("obligations").begin_array();
+    for (const check::Obligation& ob : result.obligations)
+        write_obligation_record(
+            w, make_obligation_record(ob, *comp.design(), &comp.sources()),
+            /*with_timing=*/false);
+    w.end_array();
+    w.key("totals").begin_object();
+    w.kv("obligations", result.obligations.size());
+    w.kv("failed", result.failed);
+    w.kv("downgrades", result.downgrade_count);
+    w.end_object();
+    w.end_object();
+    std::string out = w.str();
+    out += '\n';
+    return out;
+}
+
+std::string check_human_summary(const Compilation& comp,
+                                const check::CheckResult& result) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%s: %zu obligations, %zu failed, %zu downgrade site(s)\n",
+                  result.ok ? "SECURE" : "REJECTED",
+                  result.obligations.size(), result.failed,
+                  result.downgrade_count);
+    std::string out = line;
+    if (result.downgrade_count && comp.design()) {
+        for (const auto& d : comp.design()->downgrades) {
+            out += "  downgrade at " + comp.sources().describe(d.loc) + ": ";
+            out += d.kind == hir::DowngradeKind::Endorse ? "endorse"
+                                                         : "declassify";
+            out += "(" + d.description + ")\n";
+        }
+    }
+    return out;
+}
+
+std::string solver_stats_line(const solver::EntailmentEngine::Stats& s) {
+    // hit_rate uses fixed 2-decimal precision (not default float
+    // formatting) so the line is byte-stable across platforms and libc
+    // versions.
+    double hit_rate =
+        s.queries ? static_cast<double>(s.syntactic_hits + s.cache_hits) /
+                        static_cast<double>(s.queries)
+                  : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "solver stats: %llu queries, %llu syntactic hits, "
+                  "%llu enumerations, %llu candidates (avg %.1f per "
+                  "enumeration), hit_rate %.2f\n",
+                  static_cast<unsigned long long>(s.queries),
+                  static_cast<unsigned long long>(s.syntactic_hits),
+                  static_cast<unsigned long long>(s.enumerations),
+                  static_cast<unsigned long long>(s.total_candidates),
+                  s.enumerations ? static_cast<double>(s.total_candidates) /
+                                       static_cast<double>(s.enumerations)
+                                 : 0.0,
+                  hit_rate);
+    return line;
 }
 
 } // namespace svlc::pipeline

@@ -49,6 +49,13 @@ public:
     /// Uses `text` directly; `name` labels the buffer in diagnostics.
     void load_text(std::string text, std::string name = "<input>");
 
+    /// Replaces the buffer and discards every phase output (sources,
+    /// diagnostics, design, check result) while keeping the configured
+    /// options — the serve daemon's edit–recheck entry point, so a
+    /// session reuses one Compilation across edits instead of
+    /// reconstructing it per request.
+    void reload_text(std::string text, std::string name = "<input>");
+
     /// parse → elaborate → well-formedness. Returns the design, or
     /// nullptr when any phase failed (diagnostics explain why). Runs at
     /// most once; later calls return the cached outcome.
@@ -64,6 +71,10 @@ public:
     [[nodiscard]] bool secure();
 
     [[nodiscard]] const CompilationOptions& options() const { return opts_; }
+    /// Mutable options, for callers that adjust per-run solver state
+    /// (deadline, shared entailment cache) before (re)loading. Changes
+    /// only affect phases that have not run yet.
+    [[nodiscard]] CompilationOptions& options() { return opts_; }
     [[nodiscard]] const SourceManager& sources() const { return sm_; }
     [[nodiscard]] const DiagnosticEngine& diags() const { return diags_; }
     /// Mutable engine for downstream phases (codegen) that report their
@@ -125,5 +136,29 @@ ObligationRecord make_obligation_record(const check::Obligation& ob,
 /// run-dependent and must stay out of byte-stable report subsets.
 void write_obligation_record(JsonWriter& w, const ObligationRecord& rec,
                              bool with_timing);
+
+// ---------------------------------------------------------------------------
+// Single-file check rendering, shared by `svlc check` and the serve
+// daemon so that `svlc check --remote` output is byte-identical to the
+// in-process path (verdicts, witnesses, and diagnostics included).
+// ---------------------------------------------------------------------------
+
+/// Machine-readable single-file report (schema svlc-check-report/v1):
+/// every obligation as a record plus the verdict and configuration.
+/// Deterministic — run-dependent timing is omitted, so reports diff
+/// byte-clean across runs, processes, and the serve daemon.
+/// `file_label` is the path as the user named it. Ends with a newline.
+std::string check_report_json(const Compilation& comp,
+                              const check::CheckResult& result,
+                              const std::string& file_label);
+
+/// The `svlc check` stdout verdict block: the SECURE/REJECTED totals
+/// line plus one line per downgrade site. Ends with a newline.
+std::string check_human_summary(const Compilation& comp,
+                                const check::CheckResult& result);
+
+/// The `svlc check --stats` stderr line (with trailing newline).
+/// Fixed-precision formatting keeps it byte-stable across platforms.
+std::string solver_stats_line(const solver::EntailmentEngine::Stats& s);
 
 } // namespace svlc::pipeline

@@ -1,0 +1,107 @@
+#include "serve/protocol.hpp"
+
+namespace svlc::serve {
+
+bool parse_rpc(const std::string& payload, RpcMessage& out,
+               std::string& error) {
+    JsonValue doc;
+    if (!JsonReader::parse(payload, doc, error))
+        return false;
+    if (!doc.is_object()) {
+        error = "message is not a JSON object";
+        return false;
+    }
+    if (doc.get_string("jsonrpc") != "2.0") {
+        error = "missing or unsupported jsonrpc version";
+        return false;
+    }
+    out = RpcMessage();
+    if (const JsonValue* id = doc.find("id")) {
+        if (!id->is_number() && !id->is_string() && !id->is_null()) {
+            error = "id must be a number or string";
+            return false;
+        }
+        out.has_id = !id->is_null();
+        out.id = *id;
+    }
+    if (const JsonValue* method = doc.find("method")) {
+        if (!method->is_string()) {
+            error = "method must be a string";
+            return false;
+        }
+        out.method = method->str();
+        if (const JsonValue* params = doc.find("params")) {
+            if (!params->is_object() && !params->is_array()) {
+                error = "params must be an object or array";
+                return false;
+            }
+            out.params = *params;
+        }
+        return true;
+    }
+    out.is_response = true;
+    if (const JsonValue* result = doc.find("result")) {
+        out.has_result = true;
+        out.result = *result;
+    }
+    if (const JsonValue* err = doc.find("error")) {
+        if (!err->is_object()) {
+            error = "error member must be an object";
+            return false;
+        }
+        out.has_error = true;
+        out.error_code = static_cast<int>(
+            err->find("code") ? err->find("code")->int_val() : 0);
+        out.error_message = err->get_string("message");
+    }
+    if (out.has_result == out.has_error) {
+        error = "response must carry exactly one of result/error";
+        return false;
+    }
+    if (!out.has_id) {
+        error = "response missing id";
+        return false;
+    }
+    return true;
+}
+
+std::string make_request(uint64_t id, const std::string& method,
+                         const JsonValue& params) {
+    JsonValue msg = JsonValue::object();
+    msg.set("jsonrpc", JsonValue("2.0"));
+    msg.set("id", JsonValue(id));
+    msg.set("method", JsonValue(method));
+    msg.set("params", params);
+    return msg.dump();
+}
+
+std::string make_notification(const std::string& method,
+                              const JsonValue& params) {
+    JsonValue msg = JsonValue::object();
+    msg.set("jsonrpc", JsonValue("2.0"));
+    msg.set("method", JsonValue(method));
+    msg.set("params", params);
+    return msg.dump();
+}
+
+std::string make_response(const JsonValue& id, const JsonValue& result) {
+    JsonValue msg = JsonValue::object();
+    msg.set("jsonrpc", JsonValue("2.0"));
+    msg.set("id", id);
+    msg.set("result", result);
+    return msg.dump();
+}
+
+std::string make_error(const JsonValue& id, int code,
+                       const std::string& message) {
+    JsonValue err = JsonValue::object();
+    err.set("code", JsonValue(static_cast<int64_t>(code)));
+    err.set("message", JsonValue(message));
+    JsonValue msg = JsonValue::object();
+    msg.set("jsonrpc", JsonValue("2.0"));
+    msg.set("id", id);
+    msg.set("error", std::move(err));
+    return msg.dump();
+}
+
+} // namespace svlc::serve

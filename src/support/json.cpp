@@ -6,9 +6,10 @@ namespace svlc {
 
 namespace {
 
-/// Length of the valid UTF-8 sequence starting at s[i], or 0 when the
-/// bytes there are not well-formed UTF-8 (invalid lead byte, truncated or
-/// out-of-range continuation, overlong encoding, surrogate, > U+10FFFF).
+/// Multi-byte case of utf8_sequence_length: length of the valid UTF-8
+/// sequence starting at s[i], or 0 when the bytes there are not
+/// well-formed UTF-8 (invalid lead byte, truncated or out-of-range
+/// continuation, overlong encoding, surrogate, > U+10FFFF).
 size_t utf8_seq_len(std::string_view s, size_t i) {
     auto byte = [&](size_t k) -> unsigned {
         return k < s.size() ? static_cast<unsigned char>(s[k]) : 0x100u;
@@ -36,6 +37,14 @@ size_t utf8_seq_len(std::string_view s, size_t i) {
 }
 
 } // namespace
+
+size_t utf8_sequence_length(std::string_view s, size_t i) {
+    if (i >= s.size())
+        return 0;
+    if (static_cast<unsigned char>(s[i]) < 0x80)
+        return 1;
+    return utf8_seq_len(s, i);
+}
 
 std::string JsonWriter::escape(std::string_view s) {
     std::string out;
@@ -176,6 +185,18 @@ JsonWriter& JsonWriter::value(double v, int precision) {
     char buf[48];
     std::snprintf(buf, sizeof buf, "%.*f", precision, v);
     out_ += buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+    before_value();
+    out_ += "null";
+    return *this;
+}
+
+JsonWriter& JsonWriter::number_lexeme(std::string_view lexeme) {
+    before_value();
+    out_ += lexeme;
     return *this;
 }
 

@@ -11,6 +11,13 @@
 
 namespace svlc {
 
+/// Length in bytes of the well-formed UTF-8 sequence starting at s[i]
+/// (1 for ASCII), or 0 when the bytes there are malformed (invalid lead
+/// byte, truncated/out-of-range continuation, overlong encoding,
+/// surrogate, > U+10FFFF). Shared by JsonWriter::escape (which replaces
+/// malformed sequences) and JsonReader (which rejects them).
+size_t utf8_sequence_length(std::string_view s, size_t i);
+
 class JsonWriter {
 public:
     /// `indent` spaces per nesting level; 0 emits compact single-line JSON.
@@ -32,6 +39,11 @@ public:
     JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
     /// Fixed-point with `precision` fractional digits.
     JsonWriter& value(double v, int precision = 3);
+    JsonWriter& null_value();
+    /// Emits an already-validated JSON number lexeme verbatim. Used by
+    /// JsonValue::write so parsed documents re-serialize byte-identically
+    /// (fixed-precision re-formatting would lose the original spelling).
+    JsonWriter& number_lexeme(std::string_view lexeme);
 
     /// key + value in one call.
     template <typename T> JsonWriter& kv(std::string_view k, const T& v) {

@@ -1,0 +1,457 @@
+#include "support/json_reader.hpp"
+
+#include "support/json.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace svlc {
+
+JsonValue::JsonValue(double v) : kind_(Kind::Double), d_(v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    s_ = buf;
+    // Keep the lexeme recognizably a double ("5" would re-parse as Int).
+    if (s_.find_first_of(".eE") == std::string::npos)
+        s_ += ".0";
+}
+
+int64_t JsonValue::int_val() const {
+    switch (kind_) {
+    case Kind::Int: return i_;
+    case Kind::UInt:
+        return u_ > static_cast<uint64_t>(INT64_MAX)
+                   ? INT64_MAX
+                   : static_cast<int64_t>(u_);
+    case Kind::Double: return static_cast<int64_t>(d_);
+    default: return 0;
+    }
+}
+
+uint64_t JsonValue::uint_val() const {
+    switch (kind_) {
+    case Kind::Int: return i_ < 0 ? 0 : static_cast<uint64_t>(i_);
+    case Kind::UInt: return u_;
+    case Kind::Double: return d_ < 0 ? 0 : static_cast<uint64_t>(d_);
+    default: return 0;
+    }
+}
+
+double JsonValue::double_val() const {
+    switch (kind_) {
+    case Kind::Int: return static_cast<double>(i_);
+    case Kind::UInt: return static_cast<double>(u_);
+    case Kind::Double: return d_;
+    default: return 0.0;
+    }
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+    const JsonValue* hit = nullptr;
+    for (const auto& [k, v] : obj_)
+        if (k == key)
+            hit = &v;
+    return hit;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string def) const {
+    const JsonValue* v = find(key);
+    return v && v->is_string() ? v->str() : std::move(def);
+}
+
+uint64_t JsonValue::get_uint(std::string_view key, uint64_t def) const {
+    const JsonValue* v = find(key);
+    return v && v->is_number() ? v->uint_val() : def;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool def) const {
+    const JsonValue* v = find(key);
+    return v && v->is_bool() ? v->bool_val() : def;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue v) {
+    kind_ = Kind::Object;
+    obj_.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+    kind_ = Kind::Array;
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+    using Kind = JsonValue::Kind;
+    // Int/UInt are one numeric category split by range.
+    if (a.kind_ != b.kind_) {
+        if (a.kind_ == Kind::Int && b.kind_ == Kind::UInt)
+            return a.i_ >= 0 && static_cast<uint64_t>(a.i_) == b.u_;
+        if (a.kind_ == Kind::UInt && b.kind_ == Kind::Int)
+            return b == a;
+        return false;
+    }
+    switch (a.kind_) {
+    case Kind::Null: return true;
+    case Kind::Bool: return a.b_ == b.b_;
+    case Kind::Int: return a.i_ == b.i_;
+    case Kind::UInt: return a.u_ == b.u_;
+    case Kind::Double: return a.d_ == b.d_;
+    case Kind::String: return a.s_ == b.s_;
+    case Kind::Array: return a.arr_ == b.arr_;
+    case Kind::Object: return a.obj_ == b.obj_;
+    }
+    return false;
+}
+
+void JsonValue::write(JsonWriter& w) const {
+    switch (kind_) {
+    case Kind::Null: w.null_value(); break;
+    case Kind::Bool: w.value(b_); break;
+    case Kind::Int: w.value(i_); break;
+    case Kind::UInt: w.value(u_); break;
+    case Kind::Double: w.number_lexeme(s_); break;
+    case Kind::String: w.value(std::string_view(s_)); break;
+    case Kind::Array:
+        w.begin_array();
+        for (const JsonValue& v : arr_)
+            v.write(w);
+        w.end_array();
+        break;
+    case Kind::Object:
+        w.begin_object();
+        for (const auto& [k, v] : obj_) {
+            w.key(k);
+            v.write(w);
+        }
+        w.end_object();
+        break;
+    }
+}
+
+std::string JsonValue::dump(int indent) const {
+    JsonWriter w(indent);
+    write(w);
+    return w.str();
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+public:
+    Parser(std::string_view text, std::string& error)
+        : text_(text), error_(error) {}
+
+    bool run(JsonValue& out) {
+        skip_ws();
+        if (!parse_value(out, 0))
+            return false;
+        skip_ws();
+        if (pos_ != text_.size())
+            return fail("trailing content after JSON value");
+        return true;
+    }
+
+private:
+    bool fail(const std::string& msg) {
+        error_ = "offset " + std::to_string(pos_) + ": " + msg;
+        return false;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    [[nodiscard]] int peek() const {
+        return pos_ < text_.size() ? static_cast<unsigned char>(text_[pos_])
+                                   : -1;
+    }
+
+    bool parse_value(JsonValue& out, int depth) {
+        // The root value sits at depth 0, so a document may nest at most
+        // kMaxNestingDepth container levels.
+        if (depth >= JsonReader::kMaxNestingDepth)
+            return fail("nesting deeper than " +
+                        std::to_string(JsonReader::kMaxNestingDepth));
+        switch (peek()) {
+        case -1: return fail("unexpected end of input");
+        case '{': return parse_object(out, depth);
+        case '[': return parse_array(out, depth);
+        case '"': {
+            std::string s;
+            if (!parse_string(s))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+        }
+        case 't': return parse_word("true", JsonValue(true), out);
+        case 'f': return parse_word("false", JsonValue(false), out);
+        case 'n': return parse_word("null", JsonValue(), out);
+        default: return parse_number(out);
+        }
+    }
+
+    bool parse_word(std::string_view word, JsonValue value, JsonValue& out) {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("invalid literal");
+        pos_ += word.size();
+        out = std::move(value);
+        return true;
+    }
+
+    bool parse_object(JsonValue& out, int depth) {
+        ++pos_; // '{'
+        out = JsonValue::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            if (peek() != '"')
+                return fail("expected object key string");
+            std::string key;
+            if (!parse_string(key))
+                return false;
+            skip_ws();
+            if (peek() != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            skip_ws();
+            JsonValue member;
+            if (!parse_value(member, depth + 1))
+                return false;
+            out.set(std::move(key), std::move(member));
+            skip_ws();
+            int c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool parse_array(JsonValue& out, int depth) {
+        ++pos_; // '['
+        out = JsonValue::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            JsonValue elem;
+            if (!parse_value(elem, depth + 1))
+                return false;
+            out.push_back(std::move(elem));
+            skip_ws();
+            int c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    static void append_utf8(std::string& out, uint32_t cp) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool parse_hex4(uint32_t& out) {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int k = 0; k < 4; ++k) {
+            char c = text_[pos_ + static_cast<size_t>(k)];
+            uint32_t digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+            out = out << 4 | digit;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    bool parse_string(std::string& out) {
+        ++pos_; // opening quote
+        out.clear();
+        for (;;) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            unsigned char c = static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return fail("truncated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    uint32_t cp = 0;
+                    if (!parse_hex4(cp))
+                        return false;
+                    if (cp >= 0xdc00 && cp <= 0xdfff)
+                        return fail("lone low surrogate in \\u escape");
+                    if (cp >= 0xd800 && cp <= 0xdbff) {
+                        if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                            text_[pos_ + 1] != 'u')
+                            return fail("high surrogate without low pair");
+                        pos_ += 2;
+                        uint32_t lo = 0;
+                        if (!parse_hex4(lo))
+                            return false;
+                        if (lo < 0xdc00 || lo > 0xdfff)
+                            return fail("invalid low surrogate");
+                        cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                    }
+                    append_utf8(out, cp);
+                    break;
+                }
+                default: return fail("unknown escape character");
+                }
+                continue;
+            }
+            if (c < 0x80) {
+                out += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            size_t len = utf8_sequence_length(text_, pos_);
+            if (len == 0)
+                return fail("malformed UTF-8 in string");
+            out.append(text_.substr(pos_, len));
+            pos_ += len;
+        }
+    }
+
+    bool parse_number(JsonValue& out) {
+        size_t start = pos_;
+        bool integral = true;
+        if (peek() == '-')
+            ++pos_;
+        // int part: 0, or [1-9][0-9]* — leading zeros are an error.
+        if (peek() == '0') {
+            ++pos_;
+            if (peek() >= '0' && peek() <= '9')
+                return fail("leading zero in number");
+        } else if (peek() >= '1' && peek() <= '9') {
+            while (peek() >= '0' && peek() <= '9')
+                ++pos_;
+        } else {
+            return fail("invalid number");
+        }
+        if (peek() == '.') {
+            integral = false;
+            ++pos_;
+            if (!(peek() >= '0' && peek() <= '9'))
+                return fail("digit required after decimal point");
+            while (peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            integral = false;
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!(peek() >= '0' && peek() <= '9'))
+                return fail("digit required in exponent");
+            while (peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        std::string lexeme(text_.substr(start, pos_ - start));
+        if (integral) {
+            errno = 0;
+            if (lexeme[0] == '-') {
+                long long v = std::strtoll(lexeme.c_str(), nullptr, 10);
+                if (errno != ERANGE) {
+                    out = JsonValue(static_cast<int64_t>(v));
+                    return true;
+                }
+            } else {
+                unsigned long long v =
+                    std::strtoull(lexeme.c_str(), nullptr, 10);
+                if (errno != ERANGE) {
+                    if (v <= static_cast<unsigned long long>(INT64_MAX))
+                        out = JsonValue(static_cast<int64_t>(v));
+                    else
+                        out = JsonValue(static_cast<uint64_t>(v));
+                    return true;
+                }
+            }
+            // Out-of-range integer lexemes degrade to double, like every
+            // mainstream parser.
+        }
+        double d = std::strtod(lexeme.c_str(), nullptr);
+        out = JsonValue::double_with_lexeme(d, std::move(lexeme));
+        return true;
+    }
+
+    std::string_view text_;
+    std::string& error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool JsonReader::parse(std::string_view text, JsonValue& out,
+                       std::string& error) {
+    Parser p(text, error);
+    out = JsonValue();
+    return p.run(out);
+}
+
+} // namespace svlc

@@ -1,0 +1,145 @@
+// JSON value model and parser — the read side of support/json.hpp's
+// JsonWriter, added for the `svlc serve` framed JSON-RPC protocol (and
+// generally for anything that must consume the tool's own reports).
+//
+// Design points:
+//   * Strict RFC 8259 subset: no comments, no trailing commas, no leading
+//     zeros, strings must be valid UTF-8 (the writer only ever emits
+//     valid UTF-8; see JsonWriter::escape) and raw control characters are
+//     rejected. Lone UTF-16 surrogates in \u escapes are errors.
+//   * Numbers keep their integer identity: an integral lexeme parses to
+//     Int (fits int64) or UInt (above int64 max), everything else to
+//     Double. Doubles remember their source lexeme so a parsed document
+//     re-emits byte-identically (write → parse → write is a fixpoint).
+//   * Nesting is capped at kMaxNestingDepth — mirroring the language
+//     parser's cap — so a depth bomb returns an error instead of
+//     exhausting the stack.
+//   * Objects preserve member order and tolerate duplicate keys
+//     (`find` returns the last occurrence, JSON's common last-wins).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace svlc {
+
+class JsonWriter;
+
+class JsonValue {
+public:
+    enum class Kind { Null, Bool, Int, UInt, Double, String, Array, Object };
+
+    JsonValue() = default; // null
+    JsonValue(bool b) : kind_(Kind::Bool), b_(b) {}
+    JsonValue(int v) : kind_(Kind::Int), i_(v) {}
+    JsonValue(int64_t v) : kind_(Kind::Int), i_(v) {}
+    JsonValue(uint64_t v) : kind_(Kind::UInt), u_(v) {}
+    JsonValue(double v);
+    JsonValue(std::string s) : kind_(Kind::String), s_(std::move(s)) {}
+    JsonValue(std::string_view s) : kind_(Kind::String), s_(s) {}
+    JsonValue(const char* s) : kind_(Kind::String), s_(s) {}
+
+    static JsonValue array() {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+    static JsonValue object() {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+    /// Parser internal: a Double carrying its source lexeme (which must
+    /// spell the same number) so re-serialization is byte-identical.
+    static JsonValue double_with_lexeme(double d, std::string lexeme) {
+        JsonValue v;
+        v.kind_ = Kind::Double;
+        v.d_ = d;
+        v.s_ = std::move(lexeme);
+        return v;
+    }
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+    [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+    [[nodiscard]] bool is_number() const {
+        return kind_ == Kind::Int || kind_ == Kind::UInt ||
+               kind_ == Kind::Double;
+    }
+    [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+    [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+    [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+    [[nodiscard]] bool bool_val() const { return b_; }
+    /// Signed view of any numeric kind (UInt values above int64 max clamp).
+    [[nodiscard]] int64_t int_val() const;
+    /// Unsigned view of any numeric kind (negative values clamp to 0).
+    [[nodiscard]] uint64_t uint_val() const;
+    [[nodiscard]] double double_val() const;
+    [[nodiscard]] const std::string& str() const { return s_; }
+
+    [[nodiscard]] const std::vector<JsonValue>& items() const { return arr_; }
+    [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+    members() const {
+        return obj_;
+    }
+    [[nodiscard]] size_t size() const {
+        return kind_ == Kind::Array ? arr_.size() : obj_.size();
+    }
+
+    /// Last member named `key`, or nullptr (non-objects: nullptr).
+    [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+    // Typed object lookups with defaults — the protocol handlers' shape.
+    [[nodiscard]] std::string get_string(std::string_view key,
+                                         std::string def = "") const;
+    [[nodiscard]] uint64_t get_uint(std::string_view key,
+                                    uint64_t def = 0) const;
+    [[nodiscard]] bool get_bool(std::string_view key, bool def = false) const;
+
+    /// Appends an object member (no duplicate-key check; caller's order
+    /// is emission order).
+    JsonValue& set(std::string key, JsonValue v);
+    /// Appends an array element.
+    JsonValue& push_back(JsonValue v);
+
+    /// Deep equality. Int and UInt compare by numeric value; Double only
+    /// equals Double (1 != 1.0 — integer identity is part of the value).
+    friend bool operator==(const JsonValue& a, const JsonValue& b);
+
+    /// Emits through a JsonWriter positioned at a value slot.
+    void write(JsonWriter& w) const;
+    /// Serializes standalone; `indent` as JsonWriter (0 = compact).
+    [[nodiscard]] std::string dump(int indent = 0) const;
+
+private:
+    Kind kind_ = Kind::Null;
+    bool b_ = false;
+    int64_t i_ = 0;
+    uint64_t u_ = 0;
+    double d_ = 0;
+    /// String payload; for Kind::Double, the number's lexeme (so a parsed
+    /// document round-trips byte-identically).
+    std::string s_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+class JsonReader {
+public:
+    /// Containers deeper than this are a parse error, mirroring the
+    /// language parser's kMaxNestingDepth anti-bomb cap.
+    static constexpr int kMaxNestingDepth = 128;
+
+    /// Parses exactly one JSON document (trailing whitespace allowed,
+    /// trailing content is an error). On failure returns false and sets
+    /// `error` to "offset N: message"; never throws, crashes, or loops.
+    static bool parse(std::string_view text, JsonValue& out,
+                      std::string& error);
+};
+
+} // namespace svlc

@@ -2,6 +2,11 @@
 //
 //   svlc check <file.svlc> [--top M] [--classic] [--no-hold]
 //              [--solver enum|prune] [--json out.json] [--stats]
+//              [--remote SOCKET]
+//   svlc serve --socket PATH [--store DIR] [--max-sessions N]
+//              [--idle-timeout SEC] [--timeout-ms T]
+//              [--classic] [--no-hold] [--solver enum|prune]
+//   svlc client --socket PATH <method> [params-json]
 //   svlc emit-verilog <file.svlc> [--top M] [--compat]
 //   svlc sim <file.svlc> [--top M] --cycles N [--set in=val]...
 //            [--vcd out.vcd] [--watch net]...
@@ -28,12 +33,15 @@
 #include "proc/assembler.hpp"
 #include "proc/isa.hpp"
 #include "proc/sources.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sim/simulator.hpp"
 #include "sim/vcd.hpp"
 #include "solver/entail.hpp"
 #include "support/diagnostics.hpp"
 #include "support/fsutil.hpp"
 #include "support/json.hpp"
+#include "support/json_reader.hpp"
 #include "synth/synthesize.hpp"
 #include "verify/taint.hpp"
 
@@ -56,6 +64,11 @@ int usage() {
                  "usage:\n"
                  "  svlc check <file.svlc> [--top M] [--classic] [--no-hold]\n"
                  "             [--solver enum|prune] [--json out.json] [--stats]\n"
+                 "             [--remote SOCKET]\n"
+                 "  svlc serve --socket PATH [--store DIR] [--max-sessions N]\n"
+                 "             [--idle-timeout SEC] [--timeout-ms T]\n"
+                 "             [--classic] [--no-hold] [--solver enum|prune]\n"
+                 "  svlc client --socket PATH <method> [params-json]\n"
                  "  svlc batch <manifest|dir|file.svlc|builtin:V> [--jobs N]\n"
                  "             [--json out.json] [--timeout-ms T] [--no-cache]\n"
                  "             [--warm] [--cpus] [--classic] [--no-hold]\n"
@@ -113,6 +126,12 @@ struct Args {
     // watch
     uint64_t interval_ms = 500;
     uint64_t iterations = 0;
+    // check --remote / serve / client
+    std::string socket_path;
+    uint64_t max_sessions = 16;
+    uint64_t idle_timeout_sec = 0;
+    std::string client_method;
+    std::string client_params = "{}";
     // fuzz / reduce
     uint64_t fuzz_seed = 1;
     uint64_t fuzz_count = 100;
@@ -140,6 +159,69 @@ bool parse_args(int argc, char** argv, Args& args) {
         if (i < argc)
             args.outfile = argv[i++];
         return !args.file.empty();
+    }
+    if (args.command == "serve") {
+        // No positional argument; everything is a flag.
+        for (; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto next = [&]() -> const char* {
+                return i + 1 < argc ? argv[++i] : nullptr;
+            };
+            const char* v = nullptr;
+            if (arg == "--socket" && (v = next()))
+                args.socket_path = v;
+            else if (arg == "--store" && (v = next()))
+                args.store_dir = v;
+            else if (arg == "--max-sessions" && (v = next()))
+                args.max_sessions = std::strtoull(v, nullptr, 0);
+            else if (arg == "--idle-timeout" && (v = next()))
+                args.idle_timeout_sec = std::strtoull(v, nullptr, 0);
+            else if (arg == "--timeout-ms" && (v = next()))
+                args.timeout_ms = std::strtoull(v, nullptr, 0);
+            else if (arg == "--classic")
+                args.classic = true;
+            else if (arg == "--no-hold")
+                args.no_hold = true;
+            else if (arg == "--solver" && (v = next())) {
+                if (!solver::parse_backend(v)) {
+                    std::fprintf(stderr,
+                                 "--solver: unknown backend '%s' (expected "
+                                 "enum or prune)\n",
+                                 v);
+                    return false;
+                }
+                args.solver = v;
+            } else {
+                std::fprintf(stderr, "serve: unknown option '%s'\n",
+                             arg.c_str());
+                return false;
+            }
+        }
+        if (args.socket_path.empty()) {
+            std::fprintf(stderr, "serve: --socket PATH is required\n");
+            return false;
+        }
+        return true;
+    }
+    if (args.command == "client") {
+        for (; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--socket") {
+                if (i + 1 >= argc)
+                    return false;
+                args.socket_path = argv[++i];
+            } else if (args.client_method.empty()) {
+                args.client_method = arg;
+            } else {
+                args.client_params = arg;
+            }
+        }
+        if (args.socket_path.empty() || args.client_method.empty()) {
+            std::fprintf(stderr,
+                         "client: --socket PATH and a method are required\n");
+            return false;
+        }
+        return true;
     }
     if (args.command == "fuzz") {
         // No positional argument; everything is a flag.
@@ -223,6 +305,11 @@ bool parse_args(int argc, char** argv, Args& args) {
             args.vcd_path = v;
         } else if (arg == "--stats") {
             args.stats = true;
+        } else if (arg == "--remote") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.socket_path = v;
         } else if (arg == "--solver") {
             const char* v = next();
             if (!v)
@@ -337,43 +424,34 @@ std::unique_ptr<pipeline::Compilation> elaborate_file(const Args& args) {
     return comp;
 }
 
-/// Machine-readable single-file check report: every obligation (proven or
-/// not) as a pipeline::ObligationRecord, plus the verdict and config.
-std::string check_report_json(const Args& args,
-                              const pipeline::Compilation& comp,
-                              const check::CheckResult& result) {
-    JsonWriter w;
-    w.begin_object();
-    w.kv("schema", "svlc-check-report/v1");
-    w.kv("file", args.file);
-    w.kv("status", result.ok ? "secure" : "rejected");
-    w.key("config").begin_object();
-    if (!args.top.empty())
-        w.kv("top", args.top);
-    w.kv("solver",
-         solver::backend_id(comp.options().check.solver.backend));
-    w.kv("mode", args.classic ? "classic" : "lc");
-    w.end_object();
-    w.key("obligations").begin_array();
-    for (const check::Obligation& ob : result.obligations)
-        pipeline::write_obligation_record(
-            w,
-            pipeline::make_obligation_record(ob, *comp.design(),
-                                             &comp.sources()),
-            /*with_timing=*/true);
-    w.end_array();
-    w.key("totals").begin_object();
-    w.kv("obligations", result.obligations.size());
-    w.kv("failed", result.failed);
-    w.kv("downgrades", result.downgrade_count);
-    w.end_object();
-    w.end_object();
-    std::string out = w.str();
-    out += '\n';
-    return out;
-}
-
 int cmd_check(const Args& args) {
+    // --remote: forward the request to a running `svlc serve` daemon and
+    // fall back silently to the in-process path when nothing is
+    // listening. The daemon renders through the same pipeline helpers,
+    // so both paths are byte-identical.
+    if (!args.socket_path.empty()) {
+        serve::RemoteCheckResult remote;
+        if (serve::remote_check(args.socket_path, args.file, args.top,
+                                check_options(args), remote)) {
+            std::fputs(remote.diagnostics.c_str(), stderr);
+            std::fputs(remote.human.c_str(), stdout);
+            if (remote.status == "error")
+                return 1;
+            if (!args.json_path.empty()) {
+                std::ofstream out(args.json_path);
+                if (!out) {
+                    std::fprintf(stderr, "cannot write '%s'\n",
+                                 args.json_path.c_str());
+                    return 2;
+                }
+                out << remote.report_json;
+                std::fprintf(stderr, "wrote %s\n", args.json_path.c_str());
+            }
+            if (args.stats)
+                std::fputs(remote.stats_line.c_str(), stderr);
+            return remote.status == "secure" ? 0 : 1;
+        }
+    }
     pipeline::CompilationOptions popts;
     popts.top = args.top;
     popts.check = check_options(args);
@@ -387,19 +465,7 @@ int cmd_check(const Args& args) {
     if (!checked)
         return 1;
     const check::CheckResult& result = *checked;
-    const hir::Design& design = *comp.design();
-    std::printf("%s: %zu obligations, %zu failed, %zu downgrade site(s)\n",
-                result.ok ? "SECURE" : "REJECTED",
-                result.obligations.size(), result.failed,
-                result.downgrade_count);
-    if (result.downgrade_count) {
-        for (const auto& d : design.downgrades)
-            std::printf("  downgrade at %s: %s(%s)\n",
-                        comp.sources().describe(d.loc).c_str(),
-                        d.kind == hir::DowngradeKind::Endorse ? "endorse"
-                                                              : "declassify",
-                        d.description.c_str());
-    }
+    std::fputs(pipeline::check_human_summary(comp, result).c_str(), stdout);
     if (!args.json_path.empty()) {
         std::ofstream out(args.json_path);
         if (!out) {
@@ -407,32 +473,64 @@ int cmd_check(const Args& args) {
                          args.json_path.c_str());
             return 2;
         }
-        out << check_report_json(args, comp, result);
+        out << pipeline::check_report_json(comp, result, args.file);
         std::fprintf(stderr, "wrote %s\n", args.json_path.c_str());
     }
-    if (args.stats) {
-        const auto& s = result.solver_stats;
-        // hit_rate is printed with fixed 2-decimal precision (not default
-        // float formatting) so the stats line is byte-stable across
-        // platforms and libc versions.
-        double hit_rate =
-            s.queries ? static_cast<double>(s.syntactic_hits + s.cache_hits) /
-                            static_cast<double>(s.queries)
-                      : 0.0;
-        std::fprintf(stderr,
-                     "solver stats: %llu queries, %llu syntactic hits, "
-                     "%llu enumerations, %llu candidates (avg %.1f per "
-                     "enumeration), hit_rate %.2f\n",
-                     static_cast<unsigned long long>(s.queries),
-                     static_cast<unsigned long long>(s.syntactic_hits),
-                     static_cast<unsigned long long>(s.enumerations),
-                     static_cast<unsigned long long>(s.total_candidates),
-                     s.enumerations ? static_cast<double>(s.total_candidates) /
-                                          static_cast<double>(s.enumerations)
-                                    : 0.0,
-                     hit_rate);
-    }
+    if (args.stats)
+        std::fputs(pipeline::solver_stats_line(result.solver_stats).c_str(),
+                   stderr);
     return result.ok ? 0 : 1;
+}
+
+int cmd_serve(const Args& args) {
+    serve::ServeOptions opts;
+    opts.socket_path = args.socket_path;
+    opts.store_dir = args.store_dir;
+    if (args.max_sessions)
+        opts.max_sessions = args.max_sessions;
+    opts.idle_timeout_sec = args.idle_timeout_sec;
+    opts.default_timeout_ms = args.timeout_ms;
+    opts.default_check = check_options(args);
+    serve::Server server(std::move(opts));
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "svlc serve: %s\n", error.c_str());
+        return 2;
+    }
+    std::fprintf(stderr, "svlc serve: listening on %s\n",
+                 server.socket_path().c_str());
+    return server.run();
+}
+
+int cmd_client(const Args& args) {
+    std::string error;
+    auto client = serve::Client::connect(args.socket_path, error);
+    if (!client) {
+        std::fprintf(stderr, "svlc client: %s\n", error.c_str());
+        return 2;
+    }
+    JsonValue params;
+    if (!JsonReader::parse(args.client_params, params, error)) {
+        std::fprintf(stderr, "svlc client: bad params: %s\n", error.c_str());
+        return 2;
+    }
+    serve::RpcMessage response;
+    std::vector<serve::RpcMessage> notifications;
+    if (!client->call(args.client_method, params, response, error,
+                      &notifications)) {
+        std::fprintf(stderr, "svlc client: %s\n", error.c_str());
+        return 2;
+    }
+    for (const serve::RpcMessage& n : notifications)
+        std::fprintf(stderr, "notification %s: %s\n", n.method.c_str(),
+                     n.params.dump().c_str());
+    if (response.has_error) {
+        std::fprintf(stderr, "error %d: %s\n", response.error_code,
+                     response.error_message.c_str());
+        return 1;
+    }
+    std::printf("%s\n", response.result.dump(2).c_str());
+    return 0;
 }
 
 int cmd_batch(const Args& args) {
@@ -867,6 +965,10 @@ int cmd_reduce(const Args& args) {
 int dispatch(const Args& args) {
     if (args.command == "check")
         return cmd_check(args);
+    if (args.command == "serve")
+        return cmd_serve(args);
+    if (args.command == "client")
+        return cmd_client(args);
     if (args.command == "batch")
         return cmd_batch(args);
     if (args.command == "watch")
