@@ -4,12 +4,15 @@
 // (bounded by hardware concurrency) and the cache hit rate — repeated
 // module instances make the warm/cold gap dramatic (the quad-core alone
 // re-decides ~97% of its enumeration-class obligations).
+// Emits BENCH_batch.json alongside the table for dashboard ingestion.
 #include "bench_util.hpp"
 
 #include "driver/driver.hpp"
+#include "support/json.hpp"
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <thread>
 
 #ifndef SVLC_HDL_DIR
@@ -77,6 +80,13 @@ void print_table() {
     std::printf("%-26s %-10s %-12s %-10s %-10s\n", "configuration",
                 "wall ms", "hit rate", "secure", "rejected");
     double base_ms = 0;
+    JsonWriter w;
+    w.begin_object();
+    w.kv("bench", "batch");
+    w.kv("jobs", jobs.size());
+    w.kv("hardware_concurrency", uint64_t{hw});
+    w.key("rows");
+    w.begin_array();
     for (const auto& row : rows) {
         DriverOptions opts;
         opts.jobs = row.workers;
@@ -92,7 +102,21 @@ void print_table() {
                     report.count(driver::JobStatus::Secure),
                     report.count(driver::JobStatus::Rejected),
                     base_ms / report.wall_ms);
+        w.begin_object();
+        w.kv("configuration", row.name);
+        w.kv("workers", uint64_t{row.workers});
+        w.kv("wall_ms", report.wall_ms, 3);
+        w.kv("cache_hit_rate", report.cache.hit_rate(), 3);
+        w.kv("secure", report.count(driver::JobStatus::Secure));
+        w.kv("rejected", report.count(driver::JobStatus::Rejected));
+        w.kv("speedup", base_ms / report.wall_ms, 2);
+        w.end_object();
     }
+    w.end_array();
+    w.end_object();
+    std::ofstream out("BENCH_batch.json");
+    out << w.str() << "\n";
+    std::printf("\nwrote BENCH_batch.json\n");
     std::printf("\n-> memoization collapses repeated per-instance "
                 "obligations (the quad core's\n   four identical cores, "
                 "the labeled/vulnerable twins) into one decision each;\n"

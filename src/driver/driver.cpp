@@ -129,6 +129,23 @@ bool store_job_verdict(incr::ArtifactStore& store, const std::string& fp,
     return true;
 }
 
+JobResult job_result_from_verdict(const std::string& name,
+                                  const std::string& fp,
+                                  incr::StoredVerdict verdict, bool skipped) {
+    JobResult res;
+    res.name = name;
+    res.status = verdict.secure ? JobStatus::Secure : JobStatus::Rejected;
+    res.skipped = skipped;
+    res.fingerprint = fp;
+    res.attempts = skipped ? 0 : 1;
+    res.obligations = verdict.obligations;
+    res.failed = verdict.failed;
+    res.downgrades = verdict.downgrades;
+    res.flagged = std::move(verdict.flagged);
+    res.diagnostics = std::move(verdict.diagnostics);
+    return res;
+}
+
 JobResult VerificationDriver::run_job_once(const JobSpec& spec,
                                            const std::string& text) {
     pipeline::CompilationOptions popts;
@@ -154,21 +171,9 @@ JobResult VerificationDriver::run_job(const JobSpec& spec) {
     std::string fp;
     if (store_) {
         fp = incr::job_fingerprint(spec.name, text, spec.top, opts_.check);
-        if (auto hit = store_->load_verdict(fp)) {
-            JobResult res;
-            res.name = spec.name;
-            res.status =
-                hit->secure ? JobStatus::Secure : JobStatus::Rejected;
-            res.skipped = true;
-            res.fingerprint = fp;
-            res.attempts = 0;
-            res.obligations = hit->obligations;
-            res.failed = hit->failed;
-            res.downgrades = hit->downgrades;
-            res.flagged = std::move(hit->flagged);
-            res.diagnostics = hit->diagnostics;
-            return res;
-        }
+        if (auto hit = store_->load_verdict(fp))
+            return job_result_from_verdict(spec.name, fp, std::move(*hit),
+                                           /*skipped=*/true);
     }
 
     // Retry once on transient failure (allocation failure, filesystem

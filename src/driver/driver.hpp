@@ -144,6 +144,16 @@ JobResult verify_text(pipeline::Compilation& comp, const JobSpec& spec,
 bool store_job_verdict(incr::ArtifactStore& store, const std::string& fp,
                        const JobResult& res);
 
+/// Materializes the JobResult a stored verdict replays: the exact
+/// verdict-set fields a fresh run would report (timings and solver
+/// stats zero, `skipped` set when the verdict came from a store rather
+/// than a fresh remote run). Shared by the batch driver's fingerprint
+/// gate and the distributed coordinator/worker (src/dist), so every
+/// replay path renders one job identically.
+JobResult job_result_from_verdict(const std::string& name,
+                                  const std::string& fp,
+                                  incr::StoredVerdict verdict, bool skipped);
+
 class VerificationDriver {
 public:
     explicit VerificationDriver(DriverOptions opts = {});

@@ -3,9 +3,11 @@
 #include "support/fsutil.hpp"
 #include "support/hash.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <unordered_set>
 #include <vector>
 
@@ -75,6 +77,27 @@ struct Cursor {
     }
 };
 
+/// Validation outcome of one store file, separated from the discard
+/// decision: the owning store deletes its own corrupt files, but a merge
+/// must never delete a *peer's* files.
+enum class PayloadState { Missing, Corrupt, Ok };
+
+PayloadState read_payload_raw(const std::string& path, const char* kind,
+                              std::string& out) {
+    std::string content;
+    if (!read_file(path, content))
+        return PayloadState::Missing;
+    std::string header = header_for(kind);
+    if (content.size() < header.size() + kTrailerLen ||
+        content.compare(0, header.size(), header) != 0)
+        return PayloadState::Corrupt;
+    std::string body = content.substr(0, content.size() - kTrailerLen);
+    if (content.substr(content.size() - kTrailerLen) != trailer_for(body))
+        return PayloadState::Corrupt;
+    out = body.substr(header.size());
+    return PayloadState::Ok;
+}
+
 } // namespace
 
 ArtifactStore::ArtifactStore(StoreOptions opts) : opts_(std::move(opts)) {}
@@ -117,21 +140,13 @@ bool ArtifactStore::open(std::string& error) {
 
 std::optional<std::string> ArtifactStore::read_payload(const std::string& path,
                                                        const char* kind) {
-    std::string content;
-    if (!read_file(path, content))
-        return std::nullopt; // plain miss, not corruption
-    std::string header = header_for(kind);
-    if (content.size() < header.size() + kTrailerLen ||
-        content.compare(0, header.size(), header) != 0) {
-        discard(path);
-        return std::nullopt;
+    std::string payload;
+    switch (read_payload_raw(path, kind, payload)) {
+    case PayloadState::Missing: return std::nullopt;
+    case PayloadState::Corrupt: discard(path); return std::nullopt;
+    case PayloadState::Ok: return payload;
     }
-    std::string body = content.substr(0, content.size() - kTrailerLen);
-    if (content.substr(content.size() - kTrailerLen) != trailer_for(body)) {
-        discard(path);
-        return std::nullopt;
-    }
-    return body.substr(header.size());
+    return std::nullopt;
 }
 
 bool ArtifactStore::write_payload(const std::string& path, const char* kind,
@@ -147,59 +162,7 @@ void ArtifactStore::discard(const std::string& path) {
     corrupt_discarded_.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::optional<StoredVerdict>
-ArtifactStore::load_verdict(const std::string& fp) {
-    auto payload = read_payload(verdict_path(fp), "verdict");
-    if (!payload) {
-        verdict_misses_.fetch_add(1, std::memory_order_relaxed);
-        return std::nullopt;
-    }
-    Cursor c{*payload};
-    StoredVerdict v;
-    std::string status = c.line();
-    if (status == "status secure")
-        v.secure = true;
-    else if (status != "status rejected")
-        c.ok = false;
-    v.obligations = c.tagged_uint("obligations");
-    v.failed = c.tagged_uint("failed");
-    v.downgrades = c.tagged_uint("downgrades");
-    v.diagnostics = c.bytes(c.tagged_uint("diag"));
-    uint64_t nflagged = c.tagged_uint("flagged");
-    for (uint64_t i = 0; c.ok && i < nflagged; ++i) {
-        pipeline::ObligationRecord rec;
-        rec.id = c.bytes(c.tagged_uint("id"));
-        rec.kind = c.bytes(c.tagged_uint("kind"));
-        rec.target = c.bytes(c.tagged_uint("target"));
-        rec.loc = c.bytes(c.tagged_uint("loc"));
-        rec.lhs = c.bytes(c.tagged_uint("lhs"));
-        rec.rhs = c.bytes(c.tagged_uint("rhs"));
-        rec.status = c.bytes(c.tagged_uint("status"));
-        rec.detail = c.bytes(c.tagged_uint("detail"));
-        uint64_t nwit = c.tagged_uint("wit");
-        for (uint64_t j = 0; c.ok && j < nwit; ++j) {
-            pipeline::ObligationRecord::Binding b;
-            b.net = c.bytes(c.tagged_uint("net"));
-            b.primed = c.tagged_uint("primed") != 0;
-            b.value = c.tagged_uint("value");
-            rec.witness.push_back(std::move(b));
-        }
-        v.flagged.push_back(std::move(rec));
-    }
-    if (!c.ok || c.pos != payload->size()) {
-        discard(verdict_path(fp));
-        verdict_misses_.fetch_add(1, std::memory_order_relaxed);
-        return std::nullopt;
-    }
-    verdict_hits_.fetch_add(1, std::memory_order_relaxed);
-    return v;
-}
-
-bool ArtifactStore::store_verdict(const std::string& fp,
-                                  const StoredVerdict& v) {
-    std::string path = verdict_path(fp);
-    std::error_code ec;
-    fs::create_directories(fs::path(path).parent_path(), ec);
+std::string encode_stored_verdict(const StoredVerdict& v) {
     char buf[128];
     std::string payload;
     payload += v.secure ? "status secure\n" : "status rejected\n";
@@ -238,10 +201,96 @@ bool ArtifactStore::store_verdict(const std::string& fp,
             payload += "value " + std::to_string(b.value) + '\n';
         }
     }
-    if (!write_payload(path, "verdict", payload))
+    return payload;
+}
+
+bool decode_stored_verdict(const std::string& payload, StoredVerdict& out) {
+    Cursor c{payload};
+    StoredVerdict v;
+    std::string status = c.line();
+    if (status == "status secure")
+        v.secure = true;
+    else if (status != "status rejected")
+        c.ok = false;
+    v.obligations = c.tagged_uint("obligations");
+    v.failed = c.tagged_uint("failed");
+    v.downgrades = c.tagged_uint("downgrades");
+    v.diagnostics = c.bytes(c.tagged_uint("diag"));
+    uint64_t nflagged = c.tagged_uint("flagged");
+    for (uint64_t i = 0; c.ok && i < nflagged; ++i) {
+        pipeline::ObligationRecord rec;
+        rec.id = c.bytes(c.tagged_uint("id"));
+        rec.kind = c.bytes(c.tagged_uint("kind"));
+        rec.target = c.bytes(c.tagged_uint("target"));
+        rec.loc = c.bytes(c.tagged_uint("loc"));
+        rec.lhs = c.bytes(c.tagged_uint("lhs"));
+        rec.rhs = c.bytes(c.tagged_uint("rhs"));
+        rec.status = c.bytes(c.tagged_uint("status"));
+        rec.detail = c.bytes(c.tagged_uint("detail"));
+        uint64_t nwit = c.tagged_uint("wit");
+        for (uint64_t j = 0; c.ok && j < nwit; ++j) {
+            pipeline::ObligationRecord::Binding b;
+            b.net = c.bytes(c.tagged_uint("net"));
+            b.primed = c.tagged_uint("primed") != 0;
+            b.value = c.tagged_uint("value");
+            rec.witness.push_back(std::move(b));
+        }
+        v.flagged.push_back(std::move(rec));
+    }
+    if (!c.ok || c.pos != payload.size())
+        return false;
+    out = std::move(v);
+    return true;
+}
+
+std::optional<StoredVerdict>
+ArtifactStore::load_verdict(const std::string& fp) {
+    auto payload = read_payload(verdict_path(fp), "verdict");
+    if (!payload) {
+        verdict_misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    StoredVerdict v;
+    if (!decode_stored_verdict(*payload, v)) {
+        discard(verdict_path(fp));
+        verdict_misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    verdict_hits_.fetch_add(1, std::memory_order_relaxed);
+    return v;
+}
+
+bool ArtifactStore::store_verdict(const std::string& fp,
+                                  const StoredVerdict& v) {
+    std::string path = verdict_path(fp);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (!write_payload(path, "verdict", encode_stored_verdict(v)))
         return false;
     verdict_stores_.fetch_add(1, std::memory_order_relaxed);
     return true;
+}
+
+bool ArtifactStore::has_verdict(const std::string& fp) const {
+    std::error_code ec;
+    return fs::exists(verdict_path(fp), ec);
+}
+
+std::vector<std::string> ArtifactStore::list_verdicts() const {
+    std::vector<std::string> fps;
+    std::error_code ec;
+    fs::path verdicts = fs::path(opts_.dir) / "v1" / "verdicts";
+    if (!fs::exists(verdicts, ec))
+        return fps;
+    for (const auto& shard : fs::directory_iterator(verdicts, ec)) {
+        if (!shard.is_directory())
+            continue;
+        for (const auto& entry : fs::directory_iterator(shard.path(), ec))
+            if (entry.is_regular_file())
+                fps.push_back(entry.path().filename().string());
+    }
+    std::sort(fps.begin(), fps.end());
+    return fps;
 }
 
 namespace {
@@ -339,6 +388,108 @@ size_t ArtifactStore::flush_entail(const solver::EntailCache& cache) {
         return 0;
     entail_flushed_.store(merged.size(), std::memory_order_relaxed);
     return merged.size();
+}
+
+std::optional<MergeStats>
+ArtifactStore::merge_from(const std::string& peer_dir, std::string& error) {
+    MergeStats ms;
+    std::error_code ec;
+    fs::path peer_v1 = fs::path(peer_dir) / "v1";
+    if (!fs::is_directory(peer_v1, ec)) {
+        error = "peer store '" + peer_dir + "' has no v1/ directory";
+        return std::nullopt;
+    }
+    // A peer on a different (or mangled) store generation contributes
+    // nothing — its encodings are not trusted — but does not fail the
+    // merge: one bad fleet member must not lose everyone else's work.
+    std::string marker;
+    if (!read_file((peer_v1 / "FORMAT").string(), marker) ||
+        marker != std::string(kStoreFormat) + "\n") {
+        ++ms.corrupt_skipped;
+        return ms;
+    }
+
+    // Verdicts: content-addressed by fingerprint, so "already present"
+    // is exactly filename equality. New entries are validated (header,
+    // checksum, full decode) and re-encoded canonically, so a merged
+    // store's files are byte-identical to locally written ones.
+    std::vector<std::string> peer_fps;
+    fs::path peer_verdicts = peer_v1 / "verdicts";
+    if (fs::is_directory(peer_verdicts, ec)) {
+        for (const auto& shard : fs::directory_iterator(peer_verdicts, ec)) {
+            if (!shard.is_directory())
+                continue;
+            for (const auto& entry :
+                 fs::directory_iterator(shard.path(), ec))
+                if (entry.is_regular_file())
+                    peer_fps.push_back(entry.path().filename().string());
+        }
+    }
+    std::sort(peer_fps.begin(), peer_fps.end());
+    for (const std::string& fp : peer_fps) {
+        if (has_verdict(fp)) {
+            ++ms.verdicts_present;
+            continue;
+        }
+        std::string payload;
+        fs::path src = peer_verdicts / fp.substr(0, 2) / fp;
+        StoredVerdict v;
+        if (read_payload_raw(src.string(), "verdict", payload) !=
+                PayloadState::Ok ||
+            !decode_stored_verdict(payload, v)) {
+            ++ms.corrupt_skipped;
+            continue;
+        }
+        if (store_verdict(fp, v))
+            ++ms.verdicts_added;
+    }
+
+    // Entailment entries: a commutative merge — union of keys, smaller
+    // candidate count wins a (should-never-differ) collision — then
+    // canonical key order. Age order is meaningless across a fleet, and
+    // normalizing makes merge(A,B) and merge(B,A) byte-identical; the
+    // budget then drops deterministically from the front.
+    std::map<std::string, solver::EntailCache::ProvenEntry> merged;
+    EntailEntries local;
+    if (auto payload = read_payload(entail_path(), "entail")) {
+        if (!parse_entail(*payload, local)) {
+            local.clear();
+            discard(entail_path());
+        }
+    }
+    for (auto& [key, entry] : local)
+        merged.emplace(std::move(key), entry);
+    std::string peer_payload;
+    PayloadState st = read_payload_raw((peer_v1 / "entail.cache").string(),
+                                       "entail", peer_payload);
+    EntailEntries peer_entries;
+    if (st == PayloadState::Corrupt ||
+        (st == PayloadState::Ok &&
+         !parse_entail(peer_payload, peer_entries))) {
+        ++ms.corrupt_skipped;
+        peer_entries.clear();
+    }
+    for (auto& [key, entry] : peer_entries) {
+        auto [it, inserted] = merged.emplace(std::move(key), entry);
+        if (inserted) {
+            ++ms.entail_added;
+        } else {
+            ++ms.entail_present;
+            if (entry.candidates < it->second.candidates)
+                it->second = entry;
+        }
+    }
+    EntailEntries out(merged.begin(), merged.end());
+    if (out.size() > opts_.entail_budget) {
+        size_t drop = out.size() - opts_.entail_budget;
+        out.erase(out.begin(), out.begin() + static_cast<ptrdiff_t>(drop));
+        ms.entail_evicted += drop;
+        entail_evicted_.fetch_add(drop, std::memory_order_relaxed);
+    }
+    if (!local.empty() || !out.empty())
+        if (write_payload(entail_path(), "entail", serialize_entail(out)))
+            entail_flushed_.store(out.size(), std::memory_order_relaxed);
+    return ms;
 }
 
 ArtifactStore::Stats ArtifactStore::stats() const {

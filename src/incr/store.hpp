@@ -69,6 +69,28 @@ struct StoreOptions {
     size_t entail_budget = size_t{1} << 16;
 };
 
+/// Canonical byte serialization of a StoredVerdict — the payload of a
+/// verdict file (store header/checksum excluded). Deterministic: equal
+/// verdicts encode to equal bytes, which is what lets merged stores and
+/// the distributed wire protocol (src/dist) ship verdicts verbatim and
+/// still end up byte-identical on every replica.
+std::string encode_stored_verdict(const StoredVerdict& v);
+/// Inverse of encode_stored_verdict. False on any malformation (fails
+/// closed, like every other store reader).
+bool decode_stored_verdict(const std::string& payload, StoredVerdict& out);
+
+/// Outcome counters of one ArtifactStore::merge_from call.
+struct MergeStats {
+    uint64_t verdicts_added = 0;
+    uint64_t verdicts_present = 0; ///< identical fingerprint already local
+    uint64_t entail_added = 0;
+    uint64_t entail_present = 0;
+    /// Peer files/entries that failed validation — skipped, never fatal,
+    /// and never deleted (the peer store is read-only input).
+    uint64_t corrupt_skipped = 0;
+    uint64_t entail_evicted = 0; ///< dropped to respect entail_budget
+};
+
 class ArtifactStore {
 public:
     struct Stats {
@@ -92,6 +114,27 @@ public:
     /// nullopt on miss *or* on a corrupt record (which is deleted).
     std::optional<StoredVerdict> load_verdict(const std::string& fp);
     bool store_verdict(const std::string& fp, const StoredVerdict& v);
+
+    /// True when a verdict file exists for `fp` (existence only — a
+    /// corrupt file still surfaces as a miss on load). Used by the
+    /// distributed delta-sync to answer "which of these fingerprints do
+    /// you lack?" without reading any payload.
+    [[nodiscard]] bool has_verdict(const std::string& fp) const;
+    /// Every fingerprint with a verdict file, sorted (deterministic).
+    [[nodiscard]] std::vector<std::string> list_verdicts() const;
+
+    /// Merges another store's verdicts and Proven entailments into this
+    /// one. The peer (rooted at `peer_dir`, same layout) is read-only:
+    /// corrupt peer entries are counted in MergeStats::corrupt_skipped
+    /// and skipped, never deleted, never fatal. Verdicts are content-
+    /// addressed, so an identical fingerprint dedups; differing entail
+    /// candidates under one key keep the smaller count. The merged
+    /// entail.cache is normalized to canonical key order before the
+    /// budget is applied, so the merged store is byte-identical no
+    /// matter which order peers are merged in. nullopt (with `error`)
+    /// only when the peer store root is missing or unreadable.
+    std::optional<MergeStats> merge_from(const std::string& peer_dir,
+                                         std::string& error);
 
     /// Inserts every persisted Proven entry into `cache`. Returns the
     /// number loaded; 0 (after discarding) when the file is corrupt.

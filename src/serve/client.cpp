@@ -13,6 +13,15 @@ std::optional<Client> Client::connect(const std::string& socket_path,
     return Client(std::move(*stream));
 }
 
+std::optional<Client> Client::connect(const std::string& socket_path,
+                                      const net::RetryOptions& retry,
+                                      std::string& error) {
+    auto stream = net::connect_with_retry(socket_path, retry, error);
+    if (!stream)
+        return std::nullopt;
+    return Client(std::move(*stream));
+}
+
 bool Client::call(const std::string& method, const JsonValue& params,
                   RpcMessage& response, std::string& error,
                   std::vector<RpcMessage>* notifications) {
@@ -44,12 +53,12 @@ bool Client::call(const std::string& method, const JsonValue& params,
 
 bool remote_check(const std::string& socket_path, const std::string& file,
                   const std::string& top, const check::CheckOptions& copts,
-                  RemoteCheckResult& out) {
+                  RemoteCheckResult& out, const net::RetryOptions& retry) {
     std::string source;
     if (!read_file(file, source))
         return false;
     std::string error;
-    auto client = Client::connect(socket_path, error);
+    auto client = Client::connect(socket_path, retry, error);
     if (!client)
         return false;
 

@@ -20,6 +20,13 @@ public:
     static std::optional<Client> connect(const std::string& socket_path,
                                          std::string& error);
 
+    /// connect with net::connect_with_retry semantics: keeps re-trying a
+    /// not-yet-listening socket with jittered backoff (`svlc client
+    /// --retry`, distributed workers racing their coordinator's bind).
+    static std::optional<Client> connect(const std::string& socket_path,
+                                         const net::RetryOptions& retry,
+                                         std::string& error);
+
     /// Sends one request and blocks for its response. Server-pushed
     /// notifications arriving before the response are appended to
     /// `notifications` (dropped when null). False on transport or
@@ -52,11 +59,13 @@ struct RemoteCheckResult {
 /// Reads `file` locally (so the daemon labels diagnostics with the exact
 /// path the user typed), forwards it as a verify request, and unpacks
 /// the rendered outcome. Returns false — and touches nothing — when no
-/// live daemon answers or the exchange fails; callers silently fall
-/// back to the in-process path. An unreadable file is also a false
-/// return: the in-process path renders the canonical error.
+/// live daemon answers (after `retry` is exhausted) or the exchange
+/// fails; callers silently fall back to the in-process path. An
+/// unreadable file is also a false return: the in-process path renders
+/// the canonical error.
 bool remote_check(const std::string& socket_path, const std::string& file,
                   const std::string& top, const check::CheckOptions& copts,
-                  RemoteCheckResult& out);
+                  RemoteCheckResult& out,
+                  const net::RetryOptions& retry = {});
 
 } // namespace svlc::serve

@@ -1,7 +1,9 @@
 #include "support/net.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <fcntl.h>
 #include <sys/socket.h>
@@ -31,15 +33,56 @@ bool make_addr(const std::string& path, sockaddr_un& addr,
     return true;
 }
 
+/// Platforms without MSG_NOSIGNAL (macOS/BSD) suppress SIGPIPE per
+/// socket instead; on Linux this is a no-op and send_all's MSG_NOSIGNAL
+/// does the suppressing. Between the two, no peer disconnect can ever
+/// raise SIGPIPE out of this module — a vanished client must be a false
+/// return from send_all, never a dead daemon.
+void set_nosigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#else
+    (void)fd;
+#endif
+}
+
 int cloexec_socket() {
 #ifdef SOCK_CLOEXEC
-    return ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
 #else
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd >= 0)
         ::fcntl(fd, F_SETFD, FD_CLOEXEC);
-    return fd;
 #endif
+    if (fd >= 0)
+        set_nosigpipe(fd);
+    return fd;
+}
+
+/// One connect() attempt; on failure `err_out` carries the errno so the
+/// retry loop can tell "not listening yet" from a hard error.
+std::optional<UnixStream> connect_once(const sockaddr_un& addr,
+                                       const std::string& path,
+                                       std::string& error, int& err_out) {
+    int fd = cloexec_socket();
+    if (fd < 0) {
+        err_out = errno;
+        error = errno_str("socket");
+        return std::nullopt;
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        err_out = errno;
+        error = errno_str(("connect to '" + path + "'").c_str());
+        ::close(fd);
+        return std::nullopt;
+    }
+    return UnixStream(fd);
 }
 
 } // namespace
@@ -58,21 +101,42 @@ std::optional<UnixStream> UnixStream::connect(const std::string& path,
     sockaddr_un addr;
     if (!make_addr(path, addr, error))
         return std::nullopt;
-    int fd = cloexec_socket();
-    if (fd < 0) {
-        error = errno_str("socket");
+    int err = 0;
+    return connect_once(addr, path, error, err);
+}
+
+std::optional<UnixStream> connect_with_retry(const std::string& path,
+                                             const RetryOptions& retry,
+                                             std::string& error) {
+    sockaddr_un addr;
+    if (!make_addr(path, addr, error))
         return std::nullopt;
+    for (int attempt = 0;; ++attempt) {
+        int err = 0;
+        auto stream = connect_once(addr, path, error, err);
+        if (stream)
+            return stream;
+        // Retry only the "server not up yet" cases: the socket file may
+        // not exist (ENOENT) or exist without a listener (ECONNREFUSED).
+        if (attempt >= retry.attempts ||
+            (err != ECONNREFUSED && err != ENOENT))
+            return std::nullopt;
+        // Linear backoff capped at 2 s, with deterministic per-process
+        // jitter (pid ⊔ attempt hashed) so a fleet started together
+        // spreads its reconnects instead of thundering in lockstep.
+        uint64_t base = retry.backoff_ms * static_cast<uint64_t>(attempt + 1);
+        if (base > 2000)
+            base = 2000;
+        uint64_t seed = static_cast<uint64_t>(::getpid()) * 1000003u +
+                        static_cast<uint64_t>(attempt);
+        seed ^= seed >> 33;
+        seed *= 0xff51afd7ed558ccdULL;
+        seed ^= seed >> 33;
+        uint64_t jitter = retry.backoff_ms ? seed % (retry.backoff_ms / 2 + 1)
+                                           : 0;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(base / 2 + jitter));
     }
-    int rc;
-    do {
-        rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-    } while (rc < 0 && errno == EINTR);
-    if (rc < 0) {
-        error = errno_str(("connect to '" + path + "'").c_str());
-        ::close(fd);
-        return std::nullopt;
-    }
-    return UnixStream(fd);
 }
 
 bool UnixStream::send_all(std::string_view data, std::string& error) {
@@ -201,6 +265,7 @@ std::optional<UnixStream> UnixListener::accept(std::string& error) {
         return std::nullopt;
     }
     ::fcntl(cfd, F_SETFD, FD_CLOEXEC);
+    set_nosigpipe(cfd);
     return UnixStream(cfd);
 }
 

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -322,6 +323,235 @@ TEST_F(IncrTest, CorruptEntailFileLoadsAsEmpty) {
     EXPECT_EQ(store.flush_entail(cache), 1u);
     solver::EntailCache again;
     EXPECT_EQ(store.load_entail(again), 1u);
+}
+
+// --- store merge (distributed delta-sync substrate) ------------------------
+
+TEST(IncrCodec, StoredVerdictRoundTripsAndFailsClosed) {
+    StoredVerdict v;
+    v.secure = false;
+    v.obligations = 11;
+    v.failed = 3;
+    v.downgrades = 2;
+    v.diagnostics = "multi\nline \x01 bytes";
+    std::string payload = incr::encode_stored_verdict(v);
+
+    StoredVerdict out;
+    ASSERT_TRUE(incr::decode_stored_verdict(payload, out));
+    EXPECT_EQ(out.secure, v.secure);
+    EXPECT_EQ(out.obligations, v.obligations);
+    EXPECT_EQ(out.failed, v.failed);
+    EXPECT_EQ(out.downgrades, v.downgrades);
+    EXPECT_EQ(out.diagnostics, v.diagnostics);
+    // Equal verdicts encode to equal bytes (the merge/wire invariant).
+    EXPECT_EQ(payload, incr::encode_stored_verdict(out));
+
+    // Truncation and trailing garbage both fail closed.
+    EXPECT_FALSE(incr::decode_stored_verdict(
+        payload.substr(0, payload.size() / 2), out));
+    EXPECT_FALSE(incr::decode_stored_verdict(payload + "extra", out));
+    EXPECT_FALSE(incr::decode_stored_verdict("", out));
+}
+
+StoredVerdict sample_verdict(bool secure, uint64_t obligations) {
+    StoredVerdict v;
+    v.secure = secure;
+    v.obligations = obligations;
+    v.failed = secure ? 0 : 1;
+    v.diagnostics = secure ? "" : "some diagnostic\n";
+    return v;
+}
+
+/// Byte-compare two store trees: entail.cache plus every verdict file.
+void expect_stores_identical(const std::string& a, const std::string& b) {
+    auto slurp = [](const fs::path& p) {
+        std::string text;
+        EXPECT_TRUE(read_file(p.string(), text)) << p;
+        return text;
+    };
+    fs::path ea = fs::path(a) / "v1" / "entail.cache";
+    fs::path eb = fs::path(b) / "v1" / "entail.cache";
+    EXPECT_EQ(fs::exists(ea), fs::exists(eb));
+    if (fs::exists(ea)) {
+        EXPECT_EQ(slurp(ea), slurp(eb));
+    }
+
+    auto verdict_files = [](const std::string& root) {
+        std::vector<fs::path> rel;
+        fs::path base = fs::path(root) / "v1" / "verdicts";
+        if (fs::exists(base))
+            for (const auto& e : fs::recursive_directory_iterator(base))
+                if (e.is_regular_file())
+                    rel.push_back(fs::relative(e.path(), base));
+        std::sort(rel.begin(), rel.end());
+        return rel;
+    };
+    auto fa = verdict_files(a);
+    ASSERT_EQ(fa, verdict_files(b));
+    for (const auto& rel : fa)
+        EXPECT_EQ(slurp(fs::path(a) / "v1" / "verdicts" / rel),
+                  slurp(fs::path(b) / "v1" / "verdicts" / rel))
+            << rel;
+}
+
+TEST_F(IncrTest, MergeDedupsIdenticalFingerprints) {
+    std::string a_dir = (dir_ / "a").string();
+    std::string b_dir = (dir_ / "b").string();
+    ArtifactStore a({a_dir, 1024}), b({b_dir, 1024});
+    std::string error;
+    ASSERT_TRUE(a.open(error)) << error;
+    ASSERT_TRUE(b.open(error)) << error;
+
+    std::string fp1 = sha256_hex("one"), fp2 = sha256_hex("two"),
+                fp3 = sha256_hex("three");
+    ASSERT_TRUE(a.store_verdict(fp1, sample_verdict(true, 3)));
+    ASSERT_TRUE(a.store_verdict(fp2, sample_verdict(false, 5)));
+    ASSERT_TRUE(b.store_verdict(fp2, sample_verdict(false, 5)));
+    ASSERT_TRUE(b.store_verdict(fp3, sample_verdict(true, 7)));
+
+    solver::EntailCache bc;
+    bc.insert("shared-key", {10});
+    ASSERT_EQ(b.flush_entail(bc), 1u);
+    solver::EntailCache ac;
+    // Same key with a *larger* candidate count: the merge keeps the
+    // smaller (either proof is sound; the smaller replays faster).
+    ac.insert("shared-key", {25});
+    ASSERT_EQ(a.flush_entail(ac), 1u);
+
+    auto stats = a.merge_from(b_dir, error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    EXPECT_EQ(stats->verdicts_added, 1u);
+    EXPECT_EQ(stats->verdicts_present, 1u);
+    EXPECT_EQ(stats->entail_added, 0u);
+    EXPECT_EQ(stats->entail_present, 1u);
+    EXPECT_EQ(stats->corrupt_skipped, 0u);
+
+    EXPECT_TRUE(a.has_verdict(fp1));
+    EXPECT_TRUE(a.has_verdict(fp2));
+    EXPECT_TRUE(a.has_verdict(fp3));
+    EXPECT_EQ(a.list_verdicts().size(), 3u);
+
+    solver::EntailCache merged;
+    ArtifactStore reopened({a_dir, 1024});
+    ASSERT_TRUE(reopened.open(error)) << error;
+    ASSERT_EQ(reopened.load_entail(merged), 1u);
+    auto entry = merged.lookup("shared-key");
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->candidates, 10u);
+
+    // A missing peer is the one hard error.
+    EXPECT_FALSE(a.merge_from((dir_ / "nope").string(), error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(IncrTest, MergeToleratesCorruptPeerEntry) {
+    std::string a_dir = (dir_ / "a").string();
+    std::string b_dir = (dir_ / "b").string();
+    ArtifactStore a({a_dir, 1024}), b({b_dir, 1024});
+    std::string error;
+    ASSERT_TRUE(a.open(error)) << error;
+    ASSERT_TRUE(b.open(error)) << error;
+
+    std::string good = sha256_hex("good"), bad = sha256_hex("bad");
+    ASSERT_TRUE(b.store_verdict(good, sample_verdict(true, 1)));
+    ASSERT_TRUE(b.store_verdict(bad, sample_verdict(false, 2)));
+
+    fs::path bad_file = fs::path(b_dir) / "v1" / "verdicts" /
+                        bad.substr(0, 2) / bad;
+    ASSERT_TRUE(fs::exists(bad_file));
+    {
+        std::fstream f(bad_file,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(
+            std::string(incr::kStoreFormat).size() + 10));
+        f.put('X');
+    }
+
+    auto stats = a.merge_from(b_dir, error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    EXPECT_EQ(stats->verdicts_added, 1u);
+    EXPECT_EQ(stats->corrupt_skipped, 1u);
+    EXPECT_TRUE(a.has_verdict(good));
+    EXPECT_FALSE(a.has_verdict(bad));
+    // The peer is read-only input: its corrupt file must survive (the
+    // peer's own next load will deal with it).
+    EXPECT_TRUE(fs::exists(bad_file));
+}
+
+TEST_F(IncrTest, MergeRespectsEntailBudget) {
+    std::string a_dir = (dir_ / "a").string();
+    std::string b_dir = (dir_ / "b").string();
+    ArtifactStore a({a_dir, 6}), b({b_dir, 1024});
+    std::string error;
+    ASSERT_TRUE(a.open(error)) << error;
+    ASSERT_TRUE(b.open(error)) << error;
+
+    solver::EntailCache ac, bc;
+    for (int i = 0; i < 4; ++i)
+        ac.insert("local-" + std::to_string(i), {1});
+    ASSERT_EQ(a.flush_entail(ac), 4u);
+    for (int i = 0; i < 5; ++i)
+        bc.insert("peer-" + std::to_string(i), {2});
+    ASSERT_EQ(b.flush_entail(bc), 5u);
+
+    auto stats = a.merge_from(b_dir, error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    EXPECT_EQ(stats->entail_added, 5u);
+    EXPECT_EQ(stats->entail_evicted, 3u); // 4 + 5 = 9, budget 6
+
+    solver::EntailCache merged;
+    ArtifactStore reopened({a_dir, 6});
+    ASSERT_TRUE(reopened.open(error)) << error;
+    EXPECT_EQ(reopened.load_entail(merged), 6u);
+}
+
+TEST_F(IncrTest, MergeIsByteDeterministicAcrossOrders) {
+    // Two targets, the same two peers merged in opposite orders: the
+    // resulting store trees must be byte-identical (canonical entail
+    // order, canonical verdict encoding).
+    std::string p1_dir = (dir_ / "p1").string();
+    std::string p2_dir = (dir_ / "p2").string();
+    ArtifactStore p1({p1_dir, 1024}), p2({p2_dir, 1024});
+    std::string error;
+    ASSERT_TRUE(p1.open(error)) << error;
+    ASSERT_TRUE(p2.open(error)) << error;
+
+    std::string fp1 = sha256_hex("j1"), fp2 = sha256_hex("j2"),
+                fp_shared = sha256_hex("shared");
+    ASSERT_TRUE(p1.store_verdict(fp1, sample_verdict(true, 2)));
+    ASSERT_TRUE(p1.store_verdict(fp_shared, sample_verdict(false, 9)));
+    ASSERT_TRUE(p2.store_verdict(fp2, sample_verdict(true, 4)));
+    ASSERT_TRUE(p2.store_verdict(fp_shared, sample_verdict(false, 9)));
+
+    solver::EntailCache c1, c2;
+    c1.insert("zeta-key", {1});
+    c1.insert("both-key", {30});
+    ASSERT_EQ(p1.flush_entail(c1), 2u);
+    c2.insert("alpha-key", {2});
+    c2.insert("both-key", {20});
+    ASSERT_EQ(p2.flush_entail(c2), 2u);
+
+    std::string x_dir = (dir_ / "x").string();
+    std::string y_dir = (dir_ / "y").string();
+    ArtifactStore x({x_dir, 1024}), y({y_dir, 1024});
+    ASSERT_TRUE(x.open(error)) << error;
+    ASSERT_TRUE(y.open(error)) << error;
+
+    ASSERT_TRUE(x.merge_from(p1_dir, error).has_value()) << error;
+    ASSERT_TRUE(x.merge_from(p2_dir, error).has_value()) << error;
+    ASSERT_TRUE(y.merge_from(p2_dir, error).has_value()) << error;
+    ASSERT_TRUE(y.merge_from(p1_dir, error).has_value()) << error;
+
+    expect_stores_identical(x_dir, y_dir);
+
+    // And the collision kept the smaller candidate count on both.
+    solver::EntailCache mx;
+    ArtifactStore rx({x_dir, 1024});
+    ASSERT_TRUE(rx.open(error)) << error;
+    ASSERT_EQ(rx.load_entail(mx), 3u);
+    auto both = mx.lookup("both-key");
+    ASSERT_TRUE(both.has_value());
+    EXPECT_EQ(both->candidates, 20u);
 }
 
 // --- driver integration ----------------------------------------------------
