@@ -1,8 +1,9 @@
 // E11b: the entailment engine — microbenchmarks of the decision
 // procedure that discharges C(•η) ⇒ τ⊔pc ⊑ τ' (syntactic fast path vs
 // dependency-closed enumeration), the enumeration-budget sweep, and the
-// enum-vs-prune backend comparison over the hdl/ corpus (emitted as
-// BENCH_solver.json for CI dashboards).
+// enum/prune/cdcl backend comparison — including the cdcl arena-term and
+// packed-eval ablations — over the hdl/ corpus (emitted as
+// BENCH_solver.json, schema svlc-bench-solver/v2, for CI dashboards).
 #include "bench_util.hpp"
 #include "driver/driver.hpp"
 #include "sem/updates.hpp"
@@ -96,8 +97,33 @@ struct BackendRun {
     double total_ms = 0;     ///< summed per-obligation solver time
     size_t obligations = 0;
     uint64_t candidates = 0; ///< enumeration candidates visited
+    uint64_t conflicts = 0;  ///< CDCL search telemetry (zero otherwise)
+    uint64_t propagations = 0;
+    uint64_t learned_clauses = 0;
+    uint64_t restarts = 0;
     std::vector<double> per_ob_ms;
 };
+
+/// One benchmarked backend configuration. The two cdcl-* rows are the
+/// ablations: identical search decisions, degraded evaluation machinery,
+/// so their delta against "cdcl" isolates each optimization's
+/// contribution.
+struct BackendConfig {
+    const char* id;
+    solver::BackendKind kind;
+    bool arena_terms;
+    bool packed_eval;
+};
+
+constexpr BackendConfig kBackendConfigs[] = {
+    {"enum", solver::BackendKind::Enum, true, true},
+    {"prune", solver::BackendKind::Prune, true, true},
+    {"cdcl", solver::BackendKind::Cdcl, true, true},
+    {"cdcl-noarena", solver::BackendKind::Cdcl, false, true},
+    {"cdcl-nopack", solver::BackendKind::Cdcl, true, false},
+};
+constexpr size_t kNumConfigs =
+    sizeof(kBackendConfigs) / sizeof(kBackendConfigs[0]);
 
 double percentile(std::vector<double> v, double p) {
     if (v.empty())
@@ -107,7 +133,7 @@ double percentile(std::vector<double> v, double p) {
     return v[i];
 }
 
-BackendRun run_corpus(solver::BackendKind kind,
+BackendRun run_corpus(const BackendConfig& cfg,
                       const std::vector<driver::JobSpec>& jobs) {
     BackendRun run;
     for (const driver::JobSpec& job : jobs) {
@@ -116,7 +142,9 @@ BackendRun run_corpus(solver::BackendKind kind,
             continue;
         pipeline::CompilationOptions opts;
         opts.top = job.top;
-        opts.check.solver.backend = kind;
+        opts.check.solver.backend = cfg.kind;
+        opts.check.solver.cdcl_arena_terms = cfg.arena_terms;
+        opts.check.solver.cdcl_packed_eval = cfg.packed_eval;
         pipeline::Compilation comp(std::move(opts));
         comp.load_text(text, job.name);
         const check::CheckResult* res = comp.check();
@@ -126,6 +154,10 @@ BackendRun run_corpus(solver::BackendKind kind,
             run.per_ob_ms.push_back(ob.solve_ms);
             run.total_ms += ob.solve_ms;
             run.candidates += ob.result.candidates;
+            run.conflicts += ob.result.conflicts;
+            run.propagations += ob.result.propagations;
+            run.learned_clauses += ob.result.learned_clauses;
+            run.restarts += ob.result.restarts;
         }
         run.obligations += res->obligations.size();
     }
@@ -137,6 +169,10 @@ void write_backend(JsonWriter& w, const char* id, const BackendRun& r) {
     w.kv("total_ms", r.total_ms, 3);
     w.kv("obligations", r.obligations);
     w.kv("candidates", r.candidates);
+    w.kv("conflicts", r.conflicts);
+    w.kv("propagations", r.propagations);
+    w.kv("learned_clauses", r.learned_clauses);
+    w.kv("restarts", r.restarts);
     w.kv("p50_ms", percentile(r.per_ob_ms, 0.50), 4);
     w.kv("p95_ms", percentile(r.per_ob_ms, 0.95), 4);
     w.end_object();
@@ -145,58 +181,71 @@ void write_backend(JsonWriter& w, const char* id, const BackendRun& r) {
 void backend_comparison() {
     svlc::bench::heading(
         "E11c: pluggable entailment backends over the verification corpus",
-        "the pruning backend (unit propagation + stride jumps + memoized\n"
-        "subterms) visits strictly fewer candidates than the reference "
-        "enumeration\nwhile returning identical verdicts and witnesses");
+        "prune enumerates with unit propagation + stride jumps; cdcl "
+        "searches\nconflict-driven over arena-compiled terms and bit-packed "
+        "level tuples.\nThe cdcl-noarena / cdcl-nopack rows ablate one "
+        "optimization each —\nsame search decisions, slower evaluation — so "
+        "their deltas decompose\nthe cdcl row. All rows return identical "
+        "verdicts and witnesses.");
 
     std::vector<driver::JobSpec> jobs = corpus_jobs();
     // One untimed warm-up per backend, then keep the best of three reps so
     // the table isn't dominated by first-touch allocator noise.
-    BackendRun enum_run, prune_run;
+    BackendRun runs[kNumConfigs];
     constexpr int kReps = 3;
     for (int rep = -1; rep < kReps; ++rep) {
-        BackendRun e = run_corpus(solver::BackendKind::Enum, jobs);
-        BackendRun p = run_corpus(solver::BackendKind::Prune, jobs);
-        if (rep < 0)
-            continue; // warm-up
-        if (rep == 0 || e.total_ms < enum_run.total_ms)
-            enum_run = std::move(e);
-        if (rep == 0 || p.total_ms < prune_run.total_ms)
-            prune_run = std::move(p);
+        for (size_t i = 0; i < kNumConfigs; ++i) {
+            BackendRun r = run_corpus(kBackendConfigs[i], jobs);
+            if (rep < 0)
+                continue; // warm-up
+            if (rep == 0 || r.total_ms < runs[i].total_ms)
+                runs[i] = std::move(r);
+        }
     }
 
-    std::printf("%-10s %12s %12s %12s %12s %12s\n", "backend", "total ms",
+    std::printf("%-14s %12s %12s %12s %12s %12s\n", "backend", "total ms",
                 "obligations", "candidates", "p50 us", "p95 us");
-    auto print_row = [](const char* id, const BackendRun& r) {
-        std::printf("%-10s %12.3f %12zu %12llu %12.2f %12.2f\n", id,
-                    r.total_ms, r.obligations,
+    for (size_t i = 0; i < kNumConfigs; ++i) {
+        const BackendRun& r = runs[i];
+        std::printf("%-14s %12.3f %12zu %12llu %12.2f %12.2f\n",
+                    kBackendConfigs[i].id, r.total_ms, r.obligations,
                     static_cast<unsigned long long>(r.candidates),
                     percentile(r.per_ob_ms, 0.50) * 1e3,
                     percentile(r.per_ob_ms, 0.95) * 1e3);
+    }
+    auto speedup = [&](size_t slow, size_t fast) {
+        return runs[fast].total_ms > 0
+                   ? runs[slow].total_ms / runs[fast].total_ms
+                   : 0.0;
     };
-    print_row("enum", enum_run);
-    print_row("prune", prune_run);
-    std::printf("speedup (enum/prune total): %.2fx,  candidates pruned: "
-                "%.1f%%\n",
-                prune_run.total_ms > 0 ? enum_run.total_ms / prune_run.total_ms
-                                       : 0.0,
-                enum_run.candidates
-                    ? 100.0 *
-                          (1.0 - static_cast<double>(prune_run.candidates) /
-                                     static_cast<double>(enum_run.candidates))
-                    : 0.0);
+    std::printf("speedups: enum/prune %.2fx, enum/cdcl %.2fx, prune/cdcl "
+                "%.2fx\n",
+                speedup(0, 1), speedup(0, 2), speedup(1, 2));
+    std::printf("ablations: arena terms %.2fx (cdcl-noarena/cdcl), packed "
+                "eval %.2fx (cdcl-nopack/cdcl)\n",
+                speedup(3, 2), speedup(4, 2));
 
+    // v2 (2026-08): cdcl + its two ablation rows, CDCL search telemetry
+    // per backend, and the flat "speedup" scalar replaced by pairwise
+    // ratios keyed by backend id ("a/b" = total_ms(a) / total_ms(b)).
     JsonWriter w;
     w.begin_object();
-    w.kv("schema", "svlc-bench-solver/v1");
+    w.kv("schema", "svlc-bench-solver/v2");
     w.kv("designs", jobs.size());
     w.key("backends").begin_object();
-    write_backend(w, "enum", enum_run);
-    write_backend(w, "prune", prune_run);
+    for (size_t i = 0; i < kNumConfigs; ++i)
+        write_backend(w, kBackendConfigs[i].id, runs[i]);
     w.end_object();
-    w.kv("speedup",
-         prune_run.total_ms > 0 ? enum_run.total_ms / prune_run.total_ms : 0.0,
-         3);
+    w.key("speedups").begin_object();
+    for (size_t a = 0; a < kNumConfigs; ++a)
+        for (size_t b = 0; b < kNumConfigs; ++b) {
+            if (a == b)
+                continue;
+            std::string key = std::string(kBackendConfigs[a].id) + "/" +
+                              kBackendConfigs[b].id;
+            w.kv(key.c_str(), speedup(a, b), 3);
+        }
+    w.end_object();
     w.end_object();
     std::ofstream out("BENCH_solver.json");
     out << w.str() << "\n";

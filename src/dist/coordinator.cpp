@@ -411,6 +411,10 @@ JsonValue Coordinator::do_result(const JsonValue& params, Conn& conn) {
                                               params.get_bool("skipped"));
         res.solver.queries = params.get_uint("queries");
         res.solver.syntactic_hits = params.get_uint("syntactic");
+        res.solver.conflicts = params.get_uint("conflicts");
+        res.solver.propagations = params.get_uint("propagations");
+        res.solver.learned_clauses = params.get_uint("learned_clauses");
+        res.solver.restarts = params.get_uint("restarts");
         if (store_)
             driver::store_job_verdict(*store_, js.fingerprint, res);
     } else {

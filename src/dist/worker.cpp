@@ -187,6 +187,10 @@ bool Worker::run(std::string& error) {
         }
         params.set("queries", JsonValue(res.solver.queries));
         params.set("syntactic", JsonValue(res.solver.syntactic_hits));
+        params.set("conflicts", JsonValue(res.solver.conflicts));
+        params.set("propagations", JsonValue(res.solver.propagations));
+        params.set("learned_clauses", JsonValue(res.solver.learned_clauses));
+        params.set("restarts", JsonValue(res.solver.restarts));
         params.set("skipped", JsonValue(skipped));
         if (!res.diagnostics.empty())
             params.set("diagnostics", JsonValue(res.diagnostics));

@@ -1,8 +1,9 @@
 // Backend differential harness: the self-check behind the pluggable
-// solver. Both entailment backends must produce identical verification
-// verdicts on every design — status, per-obligation records, witnesses,
-// everything in the stable report subset. `svlc diff-backends` and CI run
-// this over the whole corpus; any diff fails the build.
+// solver. Every entailment backend must produce verification verdicts
+// identical to the enum reference on every design — status,
+// per-obligation records, witnesses, everything in the stable report
+// subset. `svlc diff-backends` and CI run this three-way (enum vs prune
+// vs cdcl) over the whole corpus; any diff fails the build.
 #include "driver/driver.hpp"
 
 #include <string>
@@ -24,39 +25,39 @@ std::string witness_str(const pipeline::ObligationRecord& rec) {
     return out;
 }
 
-void diff_job(const JobResult& e, const JobResult& p,
-              std::vector<BackendDiff>& out) {
-    auto add = [&](const std::string& field, std::string ev, std::string pv) {
-        out.push_back({e.name, field, std::move(ev), std::move(pv)});
+void diff_job(const JobResult& e, const JobResult& o,
+              const std::string& backend, std::vector<BackendDiff>& out) {
+    auto add = [&](const std::string& field, std::string ev, std::string ov) {
+        out.push_back({e.name, field, backend, std::move(ev), std::move(ov)});
     };
-    if (e.status != p.status) {
-        add("status", job_status_name(e.status), job_status_name(p.status));
+    if (e.status != o.status) {
+        add("status", job_status_name(e.status), job_status_name(o.status));
         return; // per-obligation comparison is meaningless across statuses
     }
-    if (e.obligations != p.obligations)
+    if (e.obligations != o.obligations)
         add("obligations", std::to_string(e.obligations),
-            std::to_string(p.obligations));
-    if (e.failed != p.failed)
-        add("failed", std::to_string(e.failed), std::to_string(p.failed));
-    if (e.flagged.size() != p.flagged.size()) {
+            std::to_string(o.obligations));
+    if (e.failed != o.failed)
+        add("failed", std::to_string(e.failed), std::to_string(o.failed));
+    if (e.flagged.size() != o.flagged.size()) {
         add("flagged", std::to_string(e.flagged.size()),
-            std::to_string(p.flagged.size()));
+            std::to_string(o.flagged.size()));
         return;
     }
     for (size_t i = 0; i < e.flagged.size(); ++i) {
         const auto& er = e.flagged[i];
-        const auto& pr = p.flagged[i];
-        if (er.id != pr.id) {
-            add("flagged[" + std::to_string(i) + "].id", er.id, pr.id);
+        const auto& orr = o.flagged[i];
+        if (er.id != orr.id) {
+            add("flagged[" + std::to_string(i) + "].id", er.id, orr.id);
             continue;
         }
-        if (er.status != pr.status)
-            add(er.id, er.status, pr.status);
-        if (er.detail != pr.detail)
-            add(er.id + ".detail", er.detail, pr.detail);
-        std::string ew = witness_str(er), pw = witness_str(pr);
-        if (ew != pw)
-            add(er.id + ".witness", ew, pw);
+        if (er.status != orr.status)
+            add(er.id, er.status, orr.status);
+        if (er.detail != orr.detail)
+            add(er.id + ".detail", er.detail, orr.detail);
+        std::string ew = witness_str(er), ow = witness_str(orr);
+        if (ew != ow)
+            add(er.id + ".witness", ew, ow);
     }
 }
 
@@ -65,19 +66,23 @@ void diff_job(const JobResult& e, const JobResult& p,
 std::vector<BackendDiff> diff_backends(const std::vector<JobSpec>& jobs,
                                        const DriverOptions& base) {
     DriverOptions opts = base;
-    opts.store_dir.clear(); // never replay one backend's run as the other's
+    opts.store_dir.clear(); // never replay one backend's run as another's
 
     opts.check.solver.backend = solver::BackendKind::Enum;
     VerificationDriver enum_driver(opts);
     BatchReport enum_report = enum_driver.run(jobs);
 
-    opts.check.solver.backend = solver::BackendKind::Prune;
-    VerificationDriver prune_driver(opts);
-    BatchReport prune_report = prune_driver.run(jobs);
-
     std::vector<BackendDiff> diffs;
-    for (size_t i = 0; i < jobs.size(); ++i)
-        diff_job(enum_report.results[i], prune_report.results[i], diffs);
+    for (solver::BackendKind kind :
+         {solver::BackendKind::Prune, solver::BackendKind::Cdcl}) {
+        opts.check.solver.backend = kind;
+        VerificationDriver other_driver(opts);
+        BatchReport other_report = other_driver.run(jobs);
+        const std::string backend = solver::backend_id(kind);
+        for (size_t i = 0; i < jobs.size(); ++i)
+            diff_job(enum_report.results[i], other_report.results[i], backend,
+                     diffs);
+    }
     return diffs;
 }
 

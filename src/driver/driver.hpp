@@ -187,14 +187,18 @@ struct BackendDiff {
     /// What diverged: "status", "obligations", "failed", or a stable
     /// obligation id (for per-obligation record mismatches).
     std::string field;
+    /// The backend that disagreed with the reference ("prune", "cdcl").
+    std::string backend;
+    /// Reference (enum) value vs the disagreeing backend's value.
     std::string enum_value;
-    std::string prune_value;
+    std::string other_value;
 };
 
-/// Runs every job twice — once per entailment backend, each run with its
-/// own driver and cache, no persistent store — and returns every
-/// disagreement (empty = contract holds). `base` supplies checker budgets
-/// and worker count; its backend and store settings are overridden.
+/// Runs every job once per entailment backend — each run with its own
+/// driver and cache, no persistent store — and returns every disagreement
+/// with the enum reference (empty = contract holds for every backend).
+/// `base` supplies checker budgets and worker count; its backend and
+/// store settings are overridden.
 std::vector<BackendDiff> diff_backends(const std::vector<JobSpec>& jobs,
                                        const DriverOptions& base = {});
 

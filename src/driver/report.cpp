@@ -38,6 +38,10 @@ solver::EntailmentEngine::Stats BatchReport::solver_totals() const {
         t.total_candidates += r.solver.total_candidates;
         t.cache_hits += r.solver.cache_hits;
         t.cache_misses += r.solver.cache_misses;
+        t.conflicts += r.solver.conflicts;
+        t.propagations += r.solver.propagations;
+        t.learned_clauses += r.solver.learned_clauses;
+        t.restarts += r.solver.restarts;
     }
     return t;
 }
@@ -56,6 +60,12 @@ void put_solver_stats(JsonWriter& w,
     w.kv("cache_misses", s.cache_misses);
     w.kv("enumerations", s.enumerations);
     w.kv("candidates", s.total_candidates);
+    // CDCL search telemetry; identically zero for the enum and prune
+    // backends, which enumerate instead of deciding/propagating.
+    w.kv("conflicts", s.conflicts);
+    w.kv("propagations", s.propagations);
+    w.kv("learned_clauses", s.learned_clauses);
+    w.kv("restarts", s.restarts);
     w.end_object();
 }
 

@@ -53,7 +53,7 @@ bool parse_oracle_set(const std::string& text, OracleSet& out) {
     while (std::getline(ss, item, ',')) {
         if (item == "no-crash")
             out.no_crash = true;
-        else if (item == "diff")
+        else if (item == "diff" || item == "backend-diff")
             out.backend_diff = true;
         else if (item == "soundness")
             out.soundness = true;
@@ -153,15 +153,15 @@ std::optional<Finding> run_backend_diff(const std::string& source,
     auto diffs = driver::diff_backends({job}, base);
     if (diffs.empty())
         return std::nullopt;
-    std::string detail = "enum/prune disagree:";
+    std::string detail = "backends disagree:";
     size_t shown = 0;
     for (const auto& d : diffs) {
         if (++shown > 3) {
             detail += " (+" + std::to_string(diffs.size() - 3) + " more)";
             break;
         }
-        detail +=
-            " [" + d.field + ": " + d.enum_value + " vs " + d.prune_value + "]";
+        detail += " [" + d.field + ": enum=" + d.enum_value + " " + d.backend +
+                  "=" + d.other_value + "]";
     }
     return Finding{Oracle::BackendDiff, detail};
 }

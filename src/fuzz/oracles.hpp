@@ -5,8 +5,9 @@
 //   no-crash    parse → elaborate → check → sim never throws or aborts,
 //               even on ill-formed input (diagnostics are the only legal
 //               failure mode).
-//   diff        the enum and prune entailment backends agree on verdicts,
-//               per-obligation records, and counterexample witnesses.
+//   diff        every entailment backend (prune, cdcl) agrees with the
+//               enum reference on verdicts, per-obligation records, and
+//               counterexample witnesses. Alias: backend-diff.
 //   soundness   a checker-accepted program (without downgrades/assumes)
 //               passes the dynamic observational-determinism tester at
 //               every observer level — the paper's central theorem.
@@ -30,7 +31,7 @@ enum class Oracle { NoCrash, BackendDiff, Soundness, RoundTrip, Xform };
 const char* oracle_name(Oracle o);
 
 /// Which oracles to run. Parsed from "all" or a comma-separated subset
-/// of {no-crash, diff, soundness, roundtrip, xform}.
+/// of {no-crash, diff (alias backend-diff), soundness, roundtrip, xform}.
 struct OracleSet {
     bool no_crash = false;
     bool backend_diff = false;

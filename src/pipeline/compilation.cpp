@@ -207,11 +207,13 @@ std::string solver_stats_line(const solver::EntailmentEngine::Stats& s) {
         s.queries ? static_cast<double>(s.syntactic_hits + s.cache_hits) /
                         static_cast<double>(s.queries)
                   : 0.0;
-    char line[256];
+    char line[384];
     std::snprintf(line, sizeof line,
                   "solver stats: %llu queries, %llu syntactic hits, "
                   "%llu enumerations, %llu candidates (avg %.1f per "
-                  "enumeration), hit_rate %.2f\n",
+                  "enumeration), hit_rate %.2f\n"
+                  "solver search: %llu conflicts, %llu propagations, "
+                  "%llu learned clauses, %llu restarts\n",
                   static_cast<unsigned long long>(s.queries),
                   static_cast<unsigned long long>(s.syntactic_hits),
                   static_cast<unsigned long long>(s.enumerations),
@@ -219,7 +221,11 @@ std::string solver_stats_line(const solver::EntailmentEngine::Stats& s) {
                   s.enumerations ? static_cast<double>(s.total_candidates) /
                                        static_cast<double>(s.enumerations)
                                  : 0.0,
-                  hit_rate);
+                  hit_rate,
+                  static_cast<unsigned long long>(s.conflicts),
+                  static_cast<unsigned long long>(s.propagations),
+                  static_cast<unsigned long long>(s.learned_clauses),
+                  static_cast<unsigned long long>(s.restarts));
     return line;
 }
 

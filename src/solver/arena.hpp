@@ -1,0 +1,84 @@
+// Bump arena for solver-internal objects. The entailment hot path used to
+// churn per-query heap nodes (cloned equation Exprs, per-candidate
+// std::vector state); compiled terms (term.hpp) instead live in one of
+// these: allocation is a pointer bump, deallocation is wholesale via
+// reset(), and everything allocated together stays contiguous — which is
+// what makes the CDCL backend's fact-evaluation loop cache-friendly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace svlc::solver {
+
+class Arena {
+public:
+    explicit Arena(size_t block_bytes = 64 * 1024)
+        : block_bytes_(block_bytes) {}
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /// Allocates uninitialized storage for `n` objects of T. T must be
+    /// trivially destructible — reset() never runs destructors.
+    template <typename T>
+    T* allocate(size_t n) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena objects are never destroyed individually");
+        if (n == 0)
+            return nullptr;
+        size_t bytes = n * sizeof(T);
+        size_t align = alignof(T);
+        size_t off = (used_ + align - 1) & ~(align - 1);
+        if (current_ == nullptr || off + bytes > current_size_) {
+            grow(bytes + align);
+            off = (used_ + align - 1) & ~(align - 1);
+        }
+        used_ = off + bytes;
+        return reinterpret_cast<T*>(current_ + off);
+    }
+
+    /// Releases every allocation at once. Retains the largest block so a
+    /// reused arena stops hitting the system allocator entirely.
+    void reset() {
+        if (blocks_.size() > 1) {
+            // Keep only the most recent (largest) block.
+            auto keep = std::move(blocks_.back());
+            size_t keep_size = block_sizes_.back();
+            blocks_.clear();
+            block_sizes_.clear();
+            blocks_.push_back(std::move(keep));
+            block_sizes_.push_back(keep_size);
+        }
+        if (!blocks_.empty()) {
+            current_ = blocks_.back().get();
+            current_size_ = block_sizes_.back();
+        }
+        used_ = 0;
+    }
+
+    [[nodiscard]] size_t block_count() const { return blocks_.size(); }
+
+private:
+    void grow(size_t min_bytes) {
+        size_t size = block_bytes_;
+        while (size < min_bytes)
+            size *= 2;
+        blocks_.push_back(std::make_unique<unsigned char[]>(size));
+        block_sizes_.push_back(size);
+        current_ = blocks_.back().get();
+        current_size_ = size;
+        used_ = 0;
+    }
+
+    size_t block_bytes_;
+    std::vector<std::unique_ptr<unsigned char[]>> blocks_;
+    std::vector<size_t> block_sizes_;
+    unsigned char* current_ = nullptr;
+    size_t current_size_ = 0;
+    size_t used_ = 0;
+};
+
+} // namespace svlc::solver

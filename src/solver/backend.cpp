@@ -12,6 +12,8 @@ const char* backend_id(BackendKind kind) {
         return "enum";
     case BackendKind::Prune:
         return "prune";
+    case BackendKind::Cdcl:
+        return "cdcl";
     }
     return "enum";
 }
@@ -21,6 +23,8 @@ std::optional<BackendKind> parse_backend(std::string_view name) {
         return BackendKind::Enum;
     if (name == "prune")
         return BackendKind::Prune;
+    if (name == "cdcl")
+        return BackendKind::Cdcl;
     return std::nullopt;
 }
 
@@ -57,11 +61,21 @@ Witness make_witness(const EnumProblem& p, const Assignment& asg,
 
 std::unique_ptr<EntailBackend> make_enum_backend();
 std::unique_ptr<EntailBackend> make_prune_backend();
+std::unique_ptr<EntailBackend> make_cdcl_backend(bool arena_terms,
+                                                 bool packed_eval);
 
 std::unique_ptr<EntailBackend> make_backend(BackendKind kind) {
+    return make_backend(kind, EntailOptions{});
+}
+
+std::unique_ptr<EntailBackend> make_backend(BackendKind kind,
+                                            const EntailOptions& opts) {
     switch (kind) {
     case BackendKind::Prune:
         return make_prune_backend();
+    case BackendKind::Cdcl:
+        return make_cdcl_backend(opts.cdcl_arena_terms,
+                                 opts.cdcl_packed_eval);
     case BackendKind::Enum:
         break;
     }

@@ -58,12 +58,41 @@ public:
     virtual EntailResult enumerate(const EnumProblem& p) = 0;
 };
 
+/// Constructs a backend. The options overload forwards backend-specific
+/// tuning (the CDCL ablation flags); the plain overload uses defaults.
 std::unique_ptr<EntailBackend> make_backend(BackendKind kind);
+std::unique_ptr<EntailBackend> make_backend(BackendKind kind,
+                                            const EntailOptions& opts);
 
 namespace backend_detail {
 
 /// Shared deadline test (epoch = disabled).
 bool past(std::chrono::steady_clock::time_point deadline);
+
+/// Amortized deadline gate shared by every backend's hot loop: tick()
+/// consults steady_clock only once per 1024 calls (a clock read per
+/// candidate used to dominate small enumerations). A deadline that
+/// expires mid-enumeration still fires within 1024 candidates —
+/// tests/cdcl_test.cpp pins that regression.
+class DeadlineGate {
+public:
+    explicit DeadlineGate(std::chrono::steady_clock::time_point deadline)
+        : deadline_(deadline) {}
+
+    /// True once the deadline has passed (checked every 1024th call).
+    bool tick() {
+        if ((++calls_ & 0x3FF) != 0)
+            return expired_;
+        if (!expired_ && past(deadline_))
+            expired_ = true;
+        return expired_;
+    }
+
+private:
+    std::chrono::steady_clock::time_point deadline_;
+    uint64_t calls_ = 0;
+    bool expired_ = false;
+};
 
 /// Builds the structured witness + byte-stable detail string for a
 /// refuting (or possibly-refuting) candidate.

@@ -18,8 +18,9 @@ public:
         EntailResult result;
         bool any_unknown_failure = false;
         std::string unknown_note;
+        backend_detail::DeadlineGate gate(p.deadline);
         for (uint64_t idx = 0; idx < p.domain; ++idx) {
-            if ((idx & 0x3FF) == 0x3FF && backend_detail::past(p.deadline)) {
+            if (gate.tick()) {
                 result.status = EntailStatus::Unknown;
                 result.timed_out = true;
                 result.detail = "entailment deadline exceeded mid-enumeration";

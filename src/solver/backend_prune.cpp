@@ -258,9 +258,9 @@ EntailResult PruneBackend::enumerate(const EnumProblem& p) {
     // candidates: `atom_stale_upto` is one past the highest digit changed
     // since the last label refresh (0 = nothing stale).
     size_t atom_stale_upto = ndigits;
+    backend_detail::DeadlineGate gate(p.deadline);
     for (;;) {
-        if ((result.candidates & 0x3FF) == 0x3FF &&
-            backend_detail::past(p.deadline)) {
+        if (gate.tick()) {
             result.status = EntailStatus::Unknown;
             result.timed_out = true;
             result.detail = "entailment deadline exceeded mid-enumeration";

@@ -50,7 +50,7 @@ EntailmentEngine::EntailmentEngine(const Design& design,
                                    const sem::Equations& eqs,
                                    EntailOptions opts)
     : design_(design), eqs_(eqs), opts_(opts),
-      backend_(make_backend(opts_.backend)) {
+      backend_(make_backend(opts_.backend, opts_)) {
     if (opts_.cache) {
         // Entries are shareable only between engines that would run the
         // identical decision procedure: same policy, same budgets, same
@@ -59,13 +59,14 @@ EntailmentEngine::EntailmentEngine(const Design& design,
         // disjoint means a contract violation can never leak a verdict
         // across backends.
         key_prefix_ = policy_fingerprint(design_.policy);
-        char buf[112];
-        std::snprintf(buf, sizeof buf, "|o:%u,%llu,%zu,%d,%d%d%d|b:%s",
+        char buf[128];
+        std::snprintf(buf, sizeof buf, "|o:%u,%llu,%zu,%d,%d%d%d|b:%s%d%d",
                       opts_.max_enum_width,
                       static_cast<unsigned long long>(opts_.max_candidates),
                       opts_.max_enum_vars, opts_.closure_depth,
                       opts_.use_equations, opts_.use_primed_equations,
-                      opts_.use_com_equations, backend_id(opts_.backend));
+                      opts_.use_com_equations, backend_id(opts_.backend),
+                      opts_.cdcl_arena_terms, opts_.cdcl_packed_eval);
         key_prefix_ += buf;
     }
 }
@@ -135,6 +136,46 @@ LevelId function_range_join(const LabelFunction& fn, const Lattice& lat) {
 }
 
 } // namespace
+
+const Expr* EntailmentEngine::equation_fact(Var v) {
+    // One synthesized `x == def(x)` node per (net, primed) for the life of
+    // the engine: queries used to clone the defining expression afresh
+    // every time (per-query ExprPtr churn), and the stable pointers double
+    // as the CDCL backend's context-identity signal.
+    uint64_t key = (uint64_t{v.first} << 1) | (v.second ? 1 : 0);
+    auto it = eq_memo_.find(key);
+    if (it != eq_memo_.end())
+        return it->second.get();
+
+    const Net& net = design_.net(v.first);
+    ExprPtr equation;
+    if (v.second && opts_.use_primed_equations) {
+        // Primed: r' == def(r), or r' == r when undriven. Synthesized
+        // nodes inherit the defining expression's loc (falling back to the
+        // net declaration) so every downstream diagnostic stays
+        // file-resolvable.
+        const Expr* def = eqs_.def(v.first);
+        SourceLoc loc = def ? def->loc : net.loc;
+        ExprPtr rhs_expr = def
+                               ? def->clone()
+                               : Expr::make_net(v.first, net.width, false,
+                                                net.loc);
+        equation = Expr::make_binary(
+            BinaryOp::Eq, Expr::make_net(v.first, net.width, true, net.loc),
+            std::move(rhs_expr), loc);
+    } else if (!v.second && net.kind == NetKind::Com &&
+               opts_.use_com_equations) {
+        const Expr* def = eqs_.def(v.first);
+        if (def)
+            equation = Expr::make_binary(
+                BinaryOp::Eq,
+                Expr::make_net(v.first, net.width, false, net.loc),
+                def->clone(), def->loc);
+    }
+    const Expr* result = equation.get();
+    eq_memo_.emplace(key, std::move(equation)); // negative results cached too
+    return result;
+}
 
 bool EntailmentEngine::syntactic_covered(
     const SolverAtom& atom, const SolverLabel& rhs,
@@ -213,7 +254,6 @@ EntailResult EntailmentEngine::check_flow(
     // Gather variables and pull in defining equations (closure).
     // ------------------------------------------------------------------
     std::vector<const Expr*> facts = user_facts;
-    std::vector<ExprPtr> owned; // storage for synthesized equation facts
     std::vector<Var> vars;
     for (const auto& atom : lhs.atoms)
         for (const auto& arg : atom.args)
@@ -247,37 +287,9 @@ EntailResult EntailmentEngine::check_flow(
                     processed.end())
                     continue;
                 processed.push_back(v);
-                const Net& net = design_.net(v.first);
-                ExprPtr equation;
-                if (v.second && opts_.use_primed_equations) {
-                    // Primed: r' == def(r), or r' == r when undriven.
-                    // Synthesized nodes inherit the defining expression's
-                    // loc (falling back to the net declaration) so every
-                    // downstream diagnostic stays file-resolvable.
-                    const Expr* def = eqs_.def(v.first);
-                    SourceLoc loc = def ? def->loc : net.loc;
-                    ExprPtr rhs_expr =
-                        def ? def->clone()
-                            : Expr::make_net(v.first, net.width, false,
-                                             net.loc);
-                    equation = Expr::make_binary(
-                        BinaryOp::Eq,
-                        Expr::make_net(v.first, net.width, true, net.loc),
-                        std::move(rhs_expr), loc);
-                } else if (!v.second && net.kind == NetKind::Com &&
-                           opts_.use_com_equations) {
-                    const Expr* def = eqs_.def(v.first);
-                    if (def)
-                        equation = Expr::make_binary(
-                            BinaryOp::Eq,
-                            Expr::make_net(v.first, net.width, false,
-                                           net.loc),
-                            def->clone(), def->loc);
-                }
-                if (equation) {
+                if (const Expr* equation = equation_fact(v)) {
                     collect_vars(*equation, vars);
-                    facts.push_back(equation.get());
-                    owned.push_back(std::move(equation));
+                    facts.push_back(equation);
                 }
             }
             frontier_begin = frontier_end;
@@ -359,6 +371,10 @@ EntailResult EntailmentEngine::check_flow(
 
     result = backend_->enumerate(problem);
     stats_.total_candidates += result.candidates;
+    stats_.conflicts += result.conflicts;
+    stats_.propagations += result.propagations;
+    stats_.learned_clauses += result.learned_clauses;
+    stats_.restarts += result.restarts;
     if (result.status == EntailStatus::Refuted && closure_truncated) {
         // The counterexample satisfies a weakened fact set; the equations
         // the closure budget dropped may exclude it, so surrender the

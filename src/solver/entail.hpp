@@ -42,10 +42,18 @@ class EntailBackend;
 ///           facts into the domain, memoizes fact/label evaluation across
 ///           candidates, and skips whole subspaces refuted by a fact that
 ///           only depends on slow-changing variables.
-enum class BackendKind { Enum, Prune };
+///   Cdcl  — verdict-equivalent, fastest: treats the bits of the packed
+///           level tuple as decision literals and searches conflict-driven
+///           (unit propagation over the equation closure, 1UIP clause
+///           learning, restarts with phase saving) instead of enumerating;
+///           learned clauses persist across the obligations of a job while
+///           the fact/label context is unchanged. Refutations are
+///           canonicalized by a clause-guided sweep in mixed-radix order,
+///           so witnesses match enum's bit for bit.
+enum class BackendKind { Enum, Prune, Cdcl };
 
-/// Stable short id ("enum" / "prune") used in cache keys, fingerprints,
-/// CLI flags, and JSON reports.
+/// Stable short id ("enum" / "prune" / "cdcl") used in cache keys,
+/// fingerprints, CLI flags, and JSON reports.
 const char* backend_id(BackendKind kind);
 /// Parses a backend id; nullopt for unknown names.
 std::optional<BackendKind> parse_backend(std::string_view name);
@@ -78,11 +86,20 @@ struct EntailOptions {
     /// pathological query cannot stall a batch. Default-constructed
     /// time_point (the epoch) disables the deadline.
     std::chrono::steady_clock::time_point deadline{};
-    /// Enumeration backend. Both are verdict- and witness-equivalent;
-    /// Prune is the fast path, Enum the reference. The id participates in
+    /// Enumeration backend. All are verdict- and witness-equivalent;
+    /// Cdcl is the fast path, Enum the reference. The id participates in
     /// cache keys and incremental fingerprints so memoized verdicts never
     /// cross backends.
     BackendKind backend = BackendKind::Enum;
+    /// CDCL ablation knobs, measured separately by bench_solver. Both
+    /// default on; turning one off changes only the evaluation machinery
+    /// (verdicts, witnesses, and even decision sequences are identical).
+    ///   cdcl_arena_terms — evaluate facts via arena-compiled flat term
+    ///     programs instead of walking the hir::Expr tree with eval3.
+    ///   cdcl_packed_eval — read variables from the bit-packed candidate
+    ///     word instead of a hash-map Assignment mirror.
+    bool cdcl_arena_terms = true;
+    bool cdcl_packed_eval = true;
 };
 
 enum class EntailStatus {
@@ -125,6 +142,11 @@ struct EntailResult {
     /// Set when the engine gave up because EntailOptions::deadline passed
     /// (status is Unknown in that case).
     bool timed_out = false;
+    /// CDCL search telemetry (always zero for enum/prune).
+    uint64_t conflicts = 0;
+    uint64_t propagations = 0;
+    uint64_t learned_clauses = 0;
+    uint64_t restarts = 0;
 
     [[nodiscard]] bool proven() const { return status == EntailStatus::Proven; }
 };
@@ -156,6 +178,12 @@ public:
         /// (hence per-job), unlike EntailCache::Stats which aggregates
         /// over every engine sharing the cache.
         uint64_t cache_misses = 0;
+        /// CDCL search telemetry, summed over enumerations (always zero
+        /// for enum/prune).
+        uint64_t conflicts = 0;
+        uint64_t propagations = 0;
+        uint64_t learned_clauses = 0;
+        uint64_t restarts = 0;
     };
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -167,6 +195,9 @@ private:
 
     bool syntactic_covered(const SolverAtom& atom, const SolverLabel& rhs,
                            const std::vector<const hir::Expr*>& facts) const;
+    /// Returns the memoized `x == def(x)` fact for `v` (nullptr when the
+    /// variable has no synthesizable equation under the current options).
+    const hir::Expr* equation_fact(Var v);
     void collect_vars(const hir::Expr& e, std::vector<Var>& out) const;
     void add_var(hir::NetId net, bool primed, std::vector<Var>& out) const;
 
@@ -175,6 +206,13 @@ private:
     EntailOptions opts_;
     std::unique_ptr<EntailBackend> backend_;
     Stats stats_;
+    /// Synthesized defining-equation facts, memoized per (net, primed).
+    /// The equation depends only on the net and the (immutable) design
+    /// equations, so it is built once per engine instead of cloned per
+    /// query — and identical queries then carry pointer-identical fact
+    /// sets, which is what lets the CDCL backend recognize an unchanged
+    /// context and keep its learned clauses.
+    std::unordered_map<uint64_t, hir::ExprPtr> eq_memo_;
     /// Cache-key prefix: policy fingerprint + enumeration budget. Built
     /// once, on first use, when a cache is attached.
     std::string key_prefix_;

@@ -1,4 +1,4 @@
-// Pluggable entailment-backend tests: the enum/prune differential
+// Pluggable entailment-backend tests: the enum/prune/cdcl differential
 // contract over the whole corpus, budget-ablation soundness (tightening a
 // solver budget can only surrender precision, never flip a verdict),
 // stable obligation ids, resolvable obligation locations, and
@@ -41,18 +41,19 @@ TEST(BackendDifferential, CorpusAndBuiltinsAgree) {
     auto diffs = driver::diff_backends(corpus_jobs());
     for (const auto& d : diffs)
         ADD_FAILURE() << d.job << " diverged on " << d.field
-                      << ": enum=" << d.enum_value
-                      << " prune=" << d.prune_value;
+                      << ": enum=" << d.enum_value << " " << d.backend << "="
+                      << d.other_value;
 }
 
 TEST(BackendDifferential, IdenticalWitnessOnFig3) {
     // The Fig. 3 implicit downgrade must refute with the *same* first
-    // counterexample under both backends — candidate order is part of the
+    // counterexample under every backend — candidate order is part of the
     // backend contract, not just the verdict.
     std::string fig3 =
         std::string(SVLC_HDL_DIR) + "/fig3_implicit_downgrade.svlc";
     std::map<BackendKind, std::vector<std::string>> details;
-    for (BackendKind kind : {BackendKind::Enum, BackendKind::Prune}) {
+    for (BackendKind kind :
+         {BackendKind::Enum, BackendKind::Prune, BackendKind::Cdcl}) {
         pipeline::CompilationOptions opts;
         opts.check.solver.backend = kind;
         pipeline::Compilation comp(std::move(opts));
@@ -69,6 +70,7 @@ TEST(BackendDifferential, IdenticalWitnessOnFig3) {
     }
     EXPECT_FALSE(details[BackendKind::Enum].empty());
     EXPECT_EQ(details[BackendKind::Enum], details[BackendKind::Prune]);
+    EXPECT_EQ(details[BackendKind::Enum], details[BackendKind::Cdcl]);
 }
 
 // --- budget-ablation soundness ---------------------------------------------
@@ -101,7 +103,8 @@ TEST(BudgetAblation, TighteningNeverFlipsAVerdict) {
             files.push_back(e.path().string());
     ASSERT_FALSE(files.empty());
 
-    for (BackendKind kind : {BackendKind::Enum, BackendKind::Prune}) {
+    for (BackendKind kind :
+         {BackendKind::Enum, BackendKind::Prune, BackendKind::Cdcl}) {
         check::CheckOptions base;
         base.solver.backend = kind;
 

@@ -1,17 +1,17 @@
 // svlc — the SecVerilogLC command-line driver.
 //
 //   svlc check <file.svlc> [--top M] [--classic] [--no-hold]
-//              [--solver enum|prune] [--json out.json] [--stats]
+//              [--solver enum|prune|cdcl] [--json out.json] [--stats]
 //              [--remote SOCKET]
 //   svlc serve --socket PATH [--store DIR] [--max-sessions N]
 //              [--idle-timeout SEC] [--timeout-ms T]
-//              [--classic] [--no-hold] [--solver enum|prune]
+//              [--classic] [--no-hold] [--solver enum|prune|cdcl]
 //   svlc client --socket PATH [--retry N] [--backoff MS]
 //              <method> [params-json]
 //   svlc coordinator --socket PATH <manifest|dir|file.svlc|builtin:V>
 //              [--cpus] [--store DIR] [--json F] [--timeout-ms T]
 //              [--lease-ms T] [--backoff-ms T] [--classic] [--no-hold]
-//              [--solver enum|prune]
+//              [--solver enum|prune|cdcl]
 //   svlc worker --connect PATH [--store DIR] [--name S] [--retry N]
 //              [--backoff MS]
 //   svlc emit-verilog <file.svlc> [--top M] [--compat]
@@ -22,7 +22,7 @@
 //   svlc dump-cpu <labeled|baseline|vulnerable|quad> [outfile]
 //   svlc batch <manifest|dir|file.svlc|builtin:V> [--jobs N] [--json F]
 //              [--timeout-ms T] [--no-cache] [--warm] [--cpus]
-//              [--store DIR] [--no-store] [--solver enum|prune]
+//              [--store DIR] [--no-store] [--solver enum|prune|cdcl]
 //   svlc watch <manifest|dir|file.svlc|builtin:V> [--store DIR]
 //              [--interval-ms T] [--iterations N] [--jobs N] [--cpus]
 //   svlc diff-backends <manifest|dir|file.svlc|builtin:V> [--jobs N]
@@ -72,28 +72,28 @@ int usage() {
     std::fprintf(stderr,
                  "usage:\n"
                  "  svlc check <file.svlc> [--top M] [--classic] [--no-hold]\n"
-                 "             [--solver enum|prune] [--json out.json] [--stats]\n"
+                 "             [--solver enum|prune|cdcl] [--json out.json] [--stats]\n"
                  "             [--remote SOCKET]\n"
                  "  svlc serve --socket PATH [--store DIR] [--max-sessions N]\n"
                  "             [--idle-timeout SEC] [--timeout-ms T]\n"
-                 "             [--classic] [--no-hold] [--solver enum|prune]\n"
+                 "             [--classic] [--no-hold] [--solver enum|prune|cdcl]\n"
                  "  svlc client --socket PATH [--retry N] [--backoff MS]\n"
                  "             <method> [params-json]\n"
                  "  svlc coordinator --socket PATH\n"
                  "             <manifest|dir|file.svlc|builtin:V> [--cpus]\n"
                  "             [--store DIR] [--json out.json] [--timeout-ms T]\n"
                  "             [--lease-ms T] [--backoff-ms T] [--classic]\n"
-                 "             [--no-hold] [--solver enum|prune]\n"
+                 "             [--no-hold] [--solver enum|prune|cdcl]\n"
                  "  svlc worker --connect PATH [--store DIR] [--name S]\n"
                  "             [--retry N] [--backoff MS]\n"
                  "  svlc batch <manifest|dir|file.svlc|builtin:V> [--jobs N]\n"
                  "             [--json out.json] [--timeout-ms T] [--no-cache]\n"
                  "             [--warm] [--cpus] [--classic] [--no-hold]\n"
-                 "             [--store DIR] [--no-store] [--solver enum|prune]\n"
+                 "             [--store DIR] [--no-store] [--solver enum|prune|cdcl]\n"
                  "  svlc watch <manifest|dir|file.svlc|builtin:V> [--store DIR]\n"
                  "             [--interval-ms T] [--iterations N] [--jobs N]\n"
                  "             [--cpus] [--classic] [--no-hold]\n"
-                 "             [--solver enum|prune]\n"
+                 "             [--solver enum|prune|cdcl]\n"
                  "  svlc diff-backends <manifest|dir|file.svlc|builtin:V>\n"
                  "             [--jobs N] [--cpus] [--classic] [--no-hold]\n"
                  "  svlc emit-verilog <file.svlc> [--top M] [--compat]\n"
@@ -211,7 +211,7 @@ bool parse_args(int argc, char** argv, Args& args) {
                 if (!solver::parse_backend(v)) {
                     std::fprintf(stderr,
                                  "--solver: unknown backend '%s' (expected "
-                                 "enum or prune)\n",
+                                 "enum, prune, or cdcl)\n",
                                  v);
                     return false;
                 }
@@ -286,7 +286,7 @@ bool parse_args(int argc, char** argv, Args& args) {
                 if (!solver::parse_backend(v)) {
                     std::fprintf(stderr,
                                  "--solver: unknown backend '%s' (expected "
-                                 "enum or prune)\n",
+                                 "enum, prune, or cdcl)\n",
                                  v);
                     return false;
                 }
@@ -444,7 +444,7 @@ bool parse_args(int argc, char** argv, Args& args) {
             if (!solver::parse_backend(v)) {
                 std::fprintf(stderr,
                              "--solver: unknown backend '%s' (expected "
-                             "enum or prune)\n",
+                             "enum, prune, or cdcl)\n",
                              v);
                 return false;
             }
@@ -857,15 +857,15 @@ int cmd_diff(const Args& args) {
     opts.check = check_options(args);
     std::vector<driver::BackendDiff> diffs = driver::diff_backends(jobs, opts);
     if (diffs.empty()) {
-        std::printf("diff-backends: %zu job(s), enum and prune agree on "
-                    "every verdict\n",
+        std::printf("diff-backends: %zu job(s), enum, prune, and cdcl agree "
+                    "on every verdict\n",
                     jobs.size());
         return 0;
     }
     for (const auto& d : diffs)
-        std::printf("DIFF %s %s: enum=%s prune=%s\n", d.job.c_str(),
-                    d.field.c_str(), d.enum_value.c_str(),
-                    d.prune_value.c_str());
+        std::printf("DIFF %s %s: enum=%s %s=%s\n", d.job.c_str(),
+                    d.field.c_str(), d.enum_value.c_str(), d.backend.c_str(),
+                    d.other_value.c_str());
     std::printf("diff-backends: %zu disagreement(s) across %zu job(s) — "
                 "backend contract violated\n",
                 diffs.size(), jobs.size());
