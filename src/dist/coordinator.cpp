@@ -440,6 +440,13 @@ JsonValue Coordinator::do_sync(const JsonValue& params) {
             if (fp.is_string() && !store_->has_verdict(fp.str()))
                 want_verdicts.push_back(fp);
     }
+    JsonValue want_obligations = JsonValue::array();
+    if (const JsonValue* obligations = params.find("obligations");
+        obligations && obligations->is_array() && store_) {
+        for (const JsonValue& fp : obligations->items())
+            if (fp.is_string() && !store_->has_obligation(fp.str()))
+                want_obligations.push_back(fp);
+    }
     JsonValue want_entail = JsonValue::array();
     if (const JsonValue* entail = params.find("entail");
         entail && entail->is_array()) {
@@ -450,12 +457,14 @@ JsonValue Coordinator::do_sync(const JsonValue& params) {
     JsonValue result = JsonValue::object();
     result.set("schema", JsonValue(kDistSchema));
     result.set("want_verdicts", std::move(want_verdicts));
+    result.set("want_obligations", std::move(want_obligations));
     result.set("want_entail", std::move(want_entail));
     return result;
 }
 
 JsonValue Coordinator::do_push(const JsonValue& params) {
     uint64_t verdicts_merged = 0;
+    uint64_t obligations_merged = 0;
     uint64_t entail_merged = 0;
     uint64_t corrupt = 0;
     if (const JsonValue* verdicts = params.find("verdicts");
@@ -475,6 +484,23 @@ JsonValue Coordinator::do_push(const JsonValue& params) {
                 ++verdicts_merged;
         }
     }
+    if (const JsonValue* obligations = params.find("obligations");
+        obligations && obligations->is_array()) {
+        for (const JsonValue& item : obligations->items()) {
+            std::string fp = item.get_string("fp");
+            std::string payload;
+            incr::StoredObligation o;
+            if (fp.empty() ||
+                !hex_decode(item.get_string("data"), payload) ||
+                !incr::decode_stored_obligation(payload, o)) {
+                ++corrupt;
+                continue;
+            }
+            if (store_ && !store_->has_obligation(fp) &&
+                store_->store_obligation(fp, o))
+                ++obligations_merged;
+        }
+    }
     if (const JsonValue* entail = params.find("entail");
         entail && entail->is_array()) {
         for (const JsonValue& item : entail->items()) {
@@ -491,9 +517,11 @@ JsonValue Coordinator::do_push(const JsonValue& params) {
         }
     }
     stats_.sync_verdicts_received += verdicts_merged;
+    stats_.sync_obligations_received += obligations_merged;
     stats_.sync_entail_received += entail_merged;
     JsonValue result = JsonValue::object();
     result.set("verdicts_merged", JsonValue(verdicts_merged));
+    result.set("obligations_merged", JsonValue(obligations_merged));
     result.set("entail_merged", JsonValue(entail_merged));
     result.set("corrupt_skipped", JsonValue(corrupt));
     return result;

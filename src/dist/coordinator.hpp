@@ -75,6 +75,7 @@ struct CoordinatorStats {
     uint64_t corrupt_results = 0;
     uint64_t store_skips = 0; ///< answered from the coordinator's store
     uint64_t sync_verdicts_received = 0;
+    uint64_t sync_obligations_received = 0;
     uint64_t sync_entail_received = 0;
 };
 

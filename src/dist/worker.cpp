@@ -151,7 +151,8 @@ bool Worker::run(std::string& error) {
             for (int attempt = 0; attempt < 2; ++attempt) {
                 try {
                     res = driver::verify_text(comp, spec, text,
-                                              default_timeout_ms, &cache);
+                                              default_timeout_ms, &cache,
+                                              store.get());
                     break;
                 } catch (const std::exception& e) {
                     res = driver::JobResult();
@@ -209,8 +210,11 @@ bool Worker::run(std::string& error) {
     // hashes for entailments, whose keys are kilobytes), push only what
     // the coordinator says it lacks.
     std::vector<std::string> local_fps;
-    if (store)
+    std::vector<std::string> local_obs;
+    if (store) {
         local_fps = store->list_verdicts();
+        local_obs = store->list_obligations();
+    }
     auto entries = cache.snapshot();
     std::map<std::string, std::pair<std::string,
                                     solver::EntailCache::ProvenEntry>>
@@ -224,6 +228,10 @@ bool Worker::run(std::string& error) {
     for (const std::string& fp : local_fps)
         fps.push_back(JsonValue(fp));
     sync.set("verdicts", std::move(fps));
+    JsonValue obs = JsonValue::array();
+    for (const std::string& fp : local_obs)
+        obs.push_back(JsonValue(fp));
+    sync.set("obligations", std::move(obs));
     JsonValue hashes = JsonValue::array();
     for (const auto& [hash, kv] : by_hash)
         hashes.push_back(JsonValue(hash));
@@ -241,6 +249,12 @@ bool Worker::run(std::string& error) {
         for (const JsonValue& fp : w->items())
             if (fp.is_string())
                 want_verdicts.push_back(fp.str());
+    std::vector<std::string> want_obligations;
+    if (const JsonValue* w = response.result.find("want_obligations");
+        w && w->is_array())
+        for (const JsonValue& fp : w->items())
+            if (fp.is_string())
+                want_obligations.push_back(fp.str());
     std::vector<std::string> want_entail;
     if (const JsonValue* w = response.result.find("want_entail");
         w && w->is_array())
@@ -248,8 +262,9 @@ bool Worker::run(std::string& error) {
             if (h.is_string())
                 want_entail.push_back(h.str());
 
-    size_t vi = 0, ei = 0;
-    while (vi < want_verdicts.size() || ei < want_entail.size()) {
+    size_t vi = 0, oi = 0, ei = 0;
+    while (vi < want_verdicts.size() || oi < want_obligations.size() ||
+           ei < want_entail.size()) {
         JsonValue push = JsonValue::object();
         push.set("worker_id", JsonValue(worker_id));
         JsonValue verdicts = JsonValue::array();
@@ -266,6 +281,20 @@ bool Worker::run(std::string& error) {
             ++stats_.pushed_verdicts;
         }
         push.set("verdicts", std::move(verdicts));
+        JsonValue push_obs = JsonValue::array();
+        for (size_t n = 0; oi < want_obligations.size() && n < kPushChunk;
+             ++oi, ++n) {
+            auto hit = store->load_obligation(want_obligations[oi]);
+            if (!hit)
+                continue;
+            JsonValue item = JsonValue::object();
+            item.set("fp", JsonValue(want_obligations[oi]));
+            item.set("data", JsonValue(hex_encode(
+                                 encode_stored_obligation(*hit))));
+            push_obs.push_back(std::move(item));
+            ++stats_.pushed_obligations;
+        }
+        push.set("obligations", std::move(push_obs));
         JsonValue entail = JsonValue::array();
         for (size_t n = 0; ei < want_entail.size() && n < kPushChunk;
              ++ei, ++n) {

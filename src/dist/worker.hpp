@@ -45,6 +45,7 @@ struct WorkerStats {
     uint64_t results_accepted = 0;
     uint64_t results_duplicate = 0;
     uint64_t pushed_verdicts = 0;
+    uint64_t pushed_obligations = 0;
     uint64_t pushed_entail = 0;
 };
 

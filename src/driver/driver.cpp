@@ -1,6 +1,7 @@
 #include "driver/driver.hpp"
 
 #include "incr/fingerprint.hpp"
+#include "incr/replay.hpp"
 #include "pipeline/compilation.hpp"
 #include "proc/sources.hpp"
 #include "support/fsutil.hpp"
@@ -71,7 +72,8 @@ VerificationDriver::VerificationDriver(DriverOptions opts)
 
 JobResult verify_text(pipeline::Compilation& comp, const JobSpec& spec,
                       const std::string& text, uint64_t default_timeout_ms,
-                      solver::EntailCache* cache) {
+                      solver::EntailCache* cache,
+                      incr::ArtifactStore* store) {
     JobResult res;
     res.name = spec.name;
 
@@ -92,14 +94,26 @@ JobResult verify_text(pipeline::Compilation& comp, const JobSpec& spec,
     comp.options().top = spec.top;
     comp.options().check.solver.deadline = deadline;
     comp.options().check.solver.cache = cache;
+    comp.options().check.oracle = nullptr;
     comp.reload_text(text, spec.name);
     if (!comp.elaborate()) {
         res.diagnostics = comp.render_diagnostics();
         return finish(JobStatus::Rejected);
     }
+    // Obligation-granular replay: the oracle lives for exactly this check
+    // phase (it borrows the elaborated design), and the options pointer is
+    // cleared right after so a hot serve Compilation can never dangle.
+    std::optional<incr::ObligationReplayer> oracle;
+    if (store) {
+        oracle.emplace(*store, *comp.design(), comp.options().check);
+        comp.options().check.oracle = &*oracle;
+    }
     const check::CheckResult& cres = *comp.check();
+    comp.options().check.oracle = nullptr;
 
     res.obligations = cres.obligations.size();
+    res.obligations_replayed = cres.obligations_replayed;
+    res.obligations_solved = cres.obligations_solved;
     res.failed = cres.failed;
     res.downgrades = cres.downgrade_count;
     for (const check::Obligation& ob : cres.obligations)
@@ -141,6 +155,8 @@ JobResult job_result_from_verdict(const std::string& name,
     res.obligations = verdict.obligations;
     res.failed = verdict.failed;
     res.downgrades = verdict.downgrades;
+    // A whole-job hit replays every proof without touching the pipeline.
+    res.obligations_replayed = verdict.obligations;
     res.flagged = std::move(verdict.flagged);
     res.diagnostics = std::move(verdict.diagnostics);
     return res;
@@ -152,7 +168,7 @@ JobResult VerificationDriver::run_job_once(const JobSpec& spec,
     popts.check = opts_.check;
     pipeline::Compilation comp(std::move(popts));
     return verify_text(comp, spec, text, opts_.timeout_ms,
-                       opts_.use_cache ? &cache_ : nullptr);
+                       opts_.use_cache ? &cache_ : nullptr, store_.get());
 }
 
 JobResult VerificationDriver::run_job(const JobSpec& spec) {
@@ -279,10 +295,17 @@ BatchReport VerificationDriver::run(const std::vector<JobSpec>& jobs) {
             now.verdict_misses - store_before.verdict_misses;
         report.store.verdict_stores =
             now.verdict_stores - store_before.verdict_stores;
+        report.store.obligation_hits =
+            now.obligation_hits - store_before.obligation_hits;
+        report.store.obligation_misses =
+            now.obligation_misses - store_before.obligation_misses;
+        report.store.obligation_stores =
+            now.obligation_stores - store_before.obligation_stores;
         report.store.entail_loaded = now.entail_loaded;
         report.store.entail_flushed = now.entail_flushed;
         report.store.entail_evicted = now.entail_evicted;
         report.store.corrupt_discarded = now.corrupt_discarded;
+        report.store.legacy_discarded = now.legacy_discarded;
     }
     return report;
 }

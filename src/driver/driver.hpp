@@ -66,6 +66,13 @@ struct JobResult {
     /// Per-obligation records for every non-proven obligation (stable
     /// ids, verdicts, counterexample witnesses). Survives store replay.
     std::vector<pipeline::ObligationRecord> flagged;
+    /// Obligation-level incrementality counters: how many of this job's
+    /// obligations were replayed from per-obligation store records vs.
+    /// decided by the entailment engine. A whole-job fingerprint hit
+    /// counts every obligation as replayed. Telemetry (full-mode JSON
+    /// and --stats only); never part of the stable verdict set.
+    size_t obligations_replayed = 0;
+    size_t obligations_solved = 0;
     solver::EntailmentEngine::Stats solver;
     /// Rendered diagnostics (with source snippets), empty when clean.
     std::string diagnostics;
@@ -133,9 +140,17 @@ struct BatchReport {
 /// falling back to `default_timeout_ms`; 0 = unlimited), and `cache`
 /// (may be null) into comp's options before reloading, so a serve
 /// session can call this repeatedly on one hot Compilation.
+///
+/// When `store` is non-null, an incr::ObligationReplayer is installed for
+/// the check phase: obligations whose structural fingerprint has a stored
+/// record replay their verdict (and re-render diagnostics) instead of
+/// re-solving, and freshly solved verdicts are written through. The
+/// resulting report is byte-identical to a store-less run; only the
+/// obligations_replayed/obligations_solved telemetry differs.
 JobResult verify_text(pipeline::Compilation& comp, const JobSpec& spec,
                       const std::string& text, uint64_t default_timeout_ms,
-                      solver::EntailCache* cache);
+                      solver::EntailCache* cache,
+                      incr::ArtifactStore* store = nullptr);
 
 /// Persists a job's verdict under fingerprint `fp`. Only deterministic
 /// verdicts (Secure/Rejected) are stored — a timeout depends on the

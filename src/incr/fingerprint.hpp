@@ -25,7 +25,7 @@ namespace svlc::incr {
 
 /// Bumped whenever a behaviour change invalidates stored verdicts
 /// (solver semantics, diagnostics rendering, fingerprint layout).
-inline constexpr const char* kToolVersion = "svlc-0.3.0";
+inline constexpr const char* kToolVersion = "svlc-0.4.0";
 
 /// Canonical serialization of the checker configuration (mode, hold
 /// obligations, full enumeration budget). Shared by the fingerprint and
@@ -37,5 +37,16 @@ std::string job_fingerprint(const std::string& name,
                             const std::string& source,
                             const std::string& top,
                             const check::CheckOptions& opts);
+
+/// Structural per-obligation fingerprint: SHA-256 over the tool version,
+/// the checker options, and the obligation's canonical context bytes
+/// (check/context.hpp — lattice, labels, facts, dependency-slice
+/// declarations + equations, referenced function tables). Unlike
+/// job_fingerprint it hashes *structure*, not source bytes: whitespace,
+/// comments, names, and edits outside the dependency slice do not move
+/// it. The job name deliberately does not participate — diagnostics are
+/// re-rendered on replay, so the name is render-only at this granularity.
+std::string obligation_fingerprint(const std::string& context_bytes,
+                                   const check::CheckOptions& opts);
 
 } // namespace svlc::incr

@@ -1,0 +1,109 @@
+#include "incr/replay.hpp"
+
+#include "incr/fingerprint.hpp"
+
+#include <unordered_map>
+
+namespace svlc::incr {
+
+using solver::EntailResult;
+using solver::EntailStatus;
+
+ObligationReplayer::ObligationReplayer(ArtifactStore& store,
+                                       const hir::Design& design,
+                                       const check::CheckOptions& opts)
+    : store_(store), design_(design), opts_(opts) {
+    // The oracle pointer is plumbing, not configuration; never let a
+    // stale copy of it escape into anything.
+    opts_.oracle = nullptr;
+}
+
+bool ObligationReplayer::replay(const check::ObligationContext& ctx,
+                                EntailResult& out) {
+    const std::string& fp = fingerprint(ctx);
+    const std::optional<StoredObligation>& rec = lookup(fp);
+    if (!rec)
+        return false;
+    EntailResult r;
+    if (rec->proven) {
+        r.status = EntailStatus::Proven;
+        // detail stays empty and no witness — exactly what a fresh
+        // Proven result carries, minus engine telemetry (full-mode only).
+    } else {
+        // Rebind the canonical witness to the current design. The slice
+        // is part of the fingerprint, so a hit guarantees every variable
+        // index (and its width) still means what it meant when stored;
+        // the bounds checks below are pure fail-closed hygiene against a
+        // hand-edited record.
+        size_t levels = design_.policy.lattice().size();
+        if (rec->lhs_level >= levels || rec->rhs_level >= levels)
+            return false;
+        solver::Witness w;
+        w.lhs_level = rec->lhs_level;
+        w.rhs_level = rec->rhs_level;
+        for (const auto& b : rec->witness) {
+            if (b.var >= ctx.nets.size())
+                return false;
+            hir::NetId net = ctx.nets[b.var];
+            uint32_t width = design_.net(net).width;
+            solver::WitnessBinding wb;
+            wb.net = net;
+            wb.primed = b.primed;
+            wb.value = BitVec(width, b.value & BitVec::mask(width));
+            w.bindings.push_back(std::move(wb));
+        }
+        r.status = EntailStatus::Refuted;
+        r.detail = w.str(design_);
+        r.witness = std::move(w);
+    }
+    out = std::move(r);
+    return true;
+}
+
+void ObligationReplayer::record(const check::ObligationContext& ctx,
+                                const EntailResult& result) {
+    if (result.timed_out || result.status == EntailStatus::Unknown)
+        return;
+    StoredObligation o;
+    o.proven = result.status == EntailStatus::Proven;
+    if (!o.proven) {
+        if (!result.witness)
+            return; // refuted without a witness cannot be re-rendered
+        o.lhs_level = result.witness->lhs_level;
+        o.rhs_level = result.witness->rhs_level;
+        std::unordered_map<hir::NetId, uint32_t> var_of;
+        var_of.reserve(ctx.nets.size());
+        for (uint32_t i = 0; i < ctx.nets.size(); ++i)
+            var_of.emplace(ctx.nets[i], i);
+        for (const auto& b : result.witness->bindings) {
+            auto it = var_of.find(b.net);
+            if (it == var_of.end())
+                return; // witness net outside the slice: don't persist
+            StoredObligation::Binding sb;
+            sb.var = it->second;
+            sb.primed = b.primed;
+            sb.value = b.value.value();
+            o.witness.push_back(sb);
+        }
+    }
+    const std::string& fp = fingerprint(ctx);
+    store_.store_obligation(fp, o);
+    records_[fp] = std::move(o);
+}
+
+const std::string&
+ObligationReplayer::fingerprint(const check::ObligationContext& ctx) {
+    if (ctx.fp.empty())
+        ctx.fp = obligation_fingerprint(ctx.bytes, opts_);
+    return ctx.fp;
+}
+
+const std::optional<StoredObligation>&
+ObligationReplayer::lookup(const std::string& fp) {
+    auto it = records_.find(fp);
+    if (it == records_.end())
+        it = records_.emplace(fp, store_.load_obligation(fp)).first;
+    return it->second;
+}
+
+} // namespace svlc::incr

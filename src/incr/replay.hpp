@@ -1,0 +1,54 @@
+// The obligation-granular replay oracle — glue between the checker's
+// ObligationOracle hook (check/typecheck.hpp) and the v2 artifact store.
+//
+// For every obligation the checker discharges, the oracle hashes the
+// canonical context into the structural obligation fingerprint and asks
+// the store for a record. On a hit it reconstructs the EntailResult —
+// rebinding the stored witness (canonical slice indices) to the current
+// design's nets and re-rendering the counterexample text — so the
+// checker's diagnostics and reports come out byte-identical to a fresh
+// solve. On a miss the solved verdict is written through, Proven and
+// Refuted only: Unknown results carry engine-specific explanations and
+// timed-out results are not verdicts at all, so both always re-solve.
+#pragma once
+
+#include "check/context.hpp"
+#include "check/typecheck.hpp"
+#include "incr/store.hpp"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace svlc::incr {
+
+class ObligationReplayer final : public check::ObligationOracle {
+public:
+    /// `store`, `design`, and `opts` must outlive the replayer (it lives
+    /// for one Compilation::check() call, between elaborate and check).
+    ObligationReplayer(ArtifactStore& store, const hir::Design& design,
+                       const check::CheckOptions& opts);
+
+    bool replay(const check::ObligationContext& ctx,
+                solver::EntailResult& out) override;
+    void record(const check::ObligationContext& ctx,
+                const solver::EntailResult& result) override;
+
+private:
+    /// Hashes ctx.bytes once per distinct context (memoized on the
+    /// context object — the checker deduplicates repeated constraints).
+    const std::string& fingerprint(const check::ObligationContext& ctx);
+    /// One store read per distinct fingerprint; repeated obligations and
+    /// records just written both hit this in-memory copy.
+    const std::optional<StoredObligation>& lookup(const std::string& fp);
+
+    ArtifactStore& store_;
+    const hir::Design& design_;
+    /// Copied: the fingerprint must reflect the options the verdicts were
+    /// produced under, independent of later mutations to the caller's.
+    check::CheckOptions opts_;
+    std::unordered_map<std::string, std::optional<StoredObligation>>
+        records_;
+};
+
+} // namespace svlc::incr

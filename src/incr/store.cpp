@@ -103,18 +103,35 @@ PayloadState read_payload_raw(const std::string& path, const char* kind,
 ArtifactStore::ArtifactStore(StoreOptions opts) : opts_(std::move(opts)) {}
 
 std::string ArtifactStore::verdict_path(const std::string& fp) const {
-    return (fs::path(opts_.dir) / "v1" / "verdicts" / fp.substr(0, 2) / fp)
+    return (fs::path(opts_.dir) / "v2" / "verdicts" / fp.substr(0, 2) / fp)
+        .string();
+}
+
+std::string ArtifactStore::obligation_path(const std::string& fp) const {
+    return (fs::path(opts_.dir) / "v2" / "obligations" / fp.substr(0, 2) /
+            fp)
         .string();
 }
 
 std::string ArtifactStore::entail_path() const {
-    return (fs::path(opts_.dir) / "v1" / "entail.cache").string();
+    return (fs::path(opts_.dir) / "v2" / "entail.cache").string();
 }
 
 bool ArtifactStore::open(std::string& error) {
-    fs::path v1 = fs::path(opts_.dir) / "v1";
-    fs::path format = v1 / "FORMAT";
+    fs::path v2 = fs::path(opts_.dir) / "v2";
+    fs::path format = v2 / "FORMAT";
     std::error_code ec;
+
+    // A retired `v1/` generation (the pre-obligation schema) is discarded
+    // wholesale the moment its directory marker is seen: one rm, one
+    // counter tick, and the store rebuilds under v2/ — never a walk that
+    // surfaces thousands of entries as individual misses, and never a
+    // read through the old framing.
+    fs::path v1 = fs::path(opts_.dir) / "v1";
+    if (fs::is_directory(v1, ec)) {
+        fs::remove_all(v1, ec);
+        legacy_discarded_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     std::string marker;
     if (fs::exists(format, ec) && read_file(format.string(), marker) &&
@@ -122,13 +139,18 @@ bool ArtifactStore::open(std::string& error) {
         // A future (or mangled) store generation: discard rather than
         // misread it. Verdicts are pure caches — rebuilding is always
         // safe, wrong reuse is not.
-        fs::remove_all(v1, ec);
+        fs::remove_all(v2, ec);
         corrupt_discarded_.fetch_add(1, std::memory_order_relaxed);
     }
 
-    fs::create_directories(v1 / "verdicts", ec);
+    fs::create_directories(v2 / "verdicts", ec);
     if (ec) {
-        error = "cannot create store '" + v1.string() + "': " + ec.message();
+        error = "cannot create store '" + v2.string() + "': " + ec.message();
+        return false;
+    }
+    fs::create_directories(v2 / "obligations", ec);
+    if (ec) {
+        error = "cannot create store '" + v2.string() + "': " + ec.message();
         return false;
     }
     if (!fs::exists(format, ec) &&
@@ -276,13 +298,15 @@ bool ArtifactStore::has_verdict(const std::string& fp) const {
     return fs::exists(verdict_path(fp), ec);
 }
 
-std::vector<std::string> ArtifactStore::list_verdicts() const {
+namespace {
+
+/// Shared directory walk for the two sharded fingerprint tables.
+std::vector<std::string> list_sharded(const fs::path& table) {
     std::vector<std::string> fps;
     std::error_code ec;
-    fs::path verdicts = fs::path(opts_.dir) / "v1" / "verdicts";
-    if (!fs::exists(verdicts, ec))
+    if (!fs::exists(table, ec))
         return fps;
-    for (const auto& shard : fs::directory_iterator(verdicts, ec)) {
+    for (const auto& shard : fs::directory_iterator(table, ec)) {
         if (!shard.is_directory())
             continue;
         for (const auto& entry : fs::directory_iterator(shard.path(), ec))
@@ -291,6 +315,88 @@ std::vector<std::string> ArtifactStore::list_verdicts() const {
     }
     std::sort(fps.begin(), fps.end());
     return fps;
+}
+
+} // namespace
+
+std::vector<std::string> ArtifactStore::list_verdicts() const {
+    return list_sharded(fs::path(opts_.dir) / "v2" / "verdicts");
+}
+
+std::string encode_stored_obligation(const StoredObligation& o) {
+    std::string payload;
+    payload += o.proven ? "status proven\n" : "status refuted\n";
+    payload += "lhs " + std::to_string(o.lhs_level) + '\n';
+    payload += "rhs " + std::to_string(o.rhs_level) + '\n';
+    payload += "wit " + std::to_string(o.witness.size()) + '\n';
+    for (const auto& b : o.witness) {
+        payload += "var " + std::to_string(b.var) + '\n';
+        payload += b.primed ? "primed 1\n" : "primed 0\n";
+        payload += "value " + std::to_string(b.value) + '\n';
+    }
+    return payload;
+}
+
+bool decode_stored_obligation(const std::string& payload,
+                              StoredObligation& out) {
+    Cursor c{payload};
+    StoredObligation o;
+    std::string status = c.line();
+    if (status == "status proven")
+        o.proven = true;
+    else if (status != "status refuted")
+        c.ok = false;
+    o.lhs_level = static_cast<uint32_t>(c.tagged_uint("lhs"));
+    o.rhs_level = static_cast<uint32_t>(c.tagged_uint("rhs"));
+    uint64_t nwit = c.tagged_uint("wit");
+    for (uint64_t i = 0; c.ok && i < nwit; ++i) {
+        StoredObligation::Binding b;
+        b.var = static_cast<uint32_t>(c.tagged_uint("var"));
+        b.primed = c.tagged_uint("primed") != 0;
+        b.value = c.tagged_uint("value");
+        o.witness.push_back(b);
+    }
+    if (!c.ok || c.pos != payload.size())
+        return false;
+    out = std::move(o);
+    return true;
+}
+
+std::optional<StoredObligation>
+ArtifactStore::load_obligation(const std::string& fp) {
+    auto payload = read_payload(obligation_path(fp), "obligation");
+    if (!payload) {
+        obligation_misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    StoredObligation o;
+    if (!decode_stored_obligation(*payload, o)) {
+        discard(obligation_path(fp));
+        obligation_misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    obligation_hits_.fetch_add(1, std::memory_order_relaxed);
+    return o;
+}
+
+bool ArtifactStore::store_obligation(const std::string& fp,
+                                     const StoredObligation& o) {
+    std::string path = obligation_path(fp);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (!write_payload(path, "obligation", encode_stored_obligation(o)))
+        return false;
+    obligation_stores_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool ArtifactStore::has_obligation(const std::string& fp) const {
+    std::error_code ec;
+    return fs::exists(obligation_path(fp), ec);
+}
+
+std::vector<std::string> ArtifactStore::list_obligations() const {
+    return list_sharded(fs::path(opts_.dir) / "v2" / "obligations");
 }
 
 namespace {
@@ -394,16 +500,16 @@ std::optional<MergeStats>
 ArtifactStore::merge_from(const std::string& peer_dir, std::string& error) {
     MergeStats ms;
     std::error_code ec;
-    fs::path peer_v1 = fs::path(peer_dir) / "v1";
-    if (!fs::is_directory(peer_v1, ec)) {
-        error = "peer store '" + peer_dir + "' has no v1/ directory";
+    fs::path peer_v2 = fs::path(peer_dir) / "v2";
+    if (!fs::is_directory(peer_v2, ec)) {
+        error = "peer store '" + peer_dir + "' has no v2/ directory";
         return std::nullopt;
     }
     // A peer on a different (or mangled) store generation contributes
     // nothing — its encodings are not trusted — but does not fail the
     // merge: one bad fleet member must not lose everyone else's work.
     std::string marker;
-    if (!read_file((peer_v1 / "FORMAT").string(), marker) ||
+    if (!read_file((peer_v2 / "FORMAT").string(), marker) ||
         marker != std::string(kStoreFormat) + "\n") {
         ++ms.corrupt_skipped;
         return ms;
@@ -413,20 +519,8 @@ ArtifactStore::merge_from(const std::string& peer_dir, std::string& error) {
     // is exactly filename equality. New entries are validated (header,
     // checksum, full decode) and re-encoded canonically, so a merged
     // store's files are byte-identical to locally written ones.
-    std::vector<std::string> peer_fps;
-    fs::path peer_verdicts = peer_v1 / "verdicts";
-    if (fs::is_directory(peer_verdicts, ec)) {
-        for (const auto& shard : fs::directory_iterator(peer_verdicts, ec)) {
-            if (!shard.is_directory())
-                continue;
-            for (const auto& entry :
-                 fs::directory_iterator(shard.path(), ec))
-                if (entry.is_regular_file())
-                    peer_fps.push_back(entry.path().filename().string());
-        }
-    }
-    std::sort(peer_fps.begin(), peer_fps.end());
-    for (const std::string& fp : peer_fps) {
+    fs::path peer_verdicts = peer_v2 / "verdicts";
+    for (const std::string& fp : list_sharded(peer_verdicts)) {
         if (has_verdict(fp)) {
             ++ms.verdicts_present;
             continue;
@@ -442,6 +536,26 @@ ArtifactStore::merge_from(const std::string& peer_dir, std::string& error) {
         }
         if (store_verdict(fp, v))
             ++ms.verdicts_added;
+    }
+
+    // Obligation records: same content-addressed dedup as verdicts.
+    fs::path peer_obligations = peer_v2 / "obligations";
+    for (const std::string& fp : list_sharded(peer_obligations)) {
+        if (has_obligation(fp)) {
+            ++ms.obligations_present;
+            continue;
+        }
+        std::string payload;
+        fs::path src = peer_obligations / fp.substr(0, 2) / fp;
+        StoredObligation o;
+        if (read_payload_raw(src.string(), "obligation", payload) !=
+                PayloadState::Ok ||
+            !decode_stored_obligation(payload, o)) {
+            ++ms.corrupt_skipped;
+            continue;
+        }
+        if (store_obligation(fp, o))
+            ++ms.obligations_added;
     }
 
     // Entailment entries: a commutative merge — union of keys, smaller
@@ -460,7 +574,7 @@ ArtifactStore::merge_from(const std::string& peer_dir, std::string& error) {
     for (auto& [key, entry] : local)
         merged.emplace(std::move(key), entry);
     std::string peer_payload;
-    PayloadState st = read_payload_raw((peer_v1 / "entail.cache").string(),
+    PayloadState st = read_payload_raw((peer_v2 / "entail.cache").string(),
                                        "entail", peer_payload);
     EntailEntries peer_entries;
     if (st == PayloadState::Corrupt ||
@@ -497,11 +611,17 @@ ArtifactStore::Stats ArtifactStore::stats() const {
     s.verdict_hits = verdict_hits_.load(std::memory_order_relaxed);
     s.verdict_misses = verdict_misses_.load(std::memory_order_relaxed);
     s.verdict_stores = verdict_stores_.load(std::memory_order_relaxed);
+    s.obligation_hits = obligation_hits_.load(std::memory_order_relaxed);
+    s.obligation_misses =
+        obligation_misses_.load(std::memory_order_relaxed);
+    s.obligation_stores =
+        obligation_stores_.load(std::memory_order_relaxed);
     s.entail_loaded = entail_loaded_.load(std::memory_order_relaxed);
     s.entail_flushed = entail_flushed_.load(std::memory_order_relaxed);
     s.entail_evicted = entail_evicted_.load(std::memory_order_relaxed);
     s.corrupt_discarded =
         corrupt_discarded_.load(std::memory_order_relaxed);
+    s.legacy_discarded = legacy_discarded_.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -1,0 +1,68 @@
+// Per-obligation dependency slices — the sem-layer half of
+// obligation-level incrementality (src/incr).
+//
+// A proof obligation's verdict depends on (a) the labels it compares and
+// the facts of its constraint context, and (b) — through the solver's
+// defining-equation closure — the declaration, label, and defining
+// equation of every net those transitively read. `dependency_slice`
+// computes that transitive closure from a root set: starting from the
+// nets an obligation's labels/facts mention, it walks label-function
+// arguments and defining-equation reads (plain and primed) to a fixed
+// point. The result is a conservative superset of everything the
+// entailment engine can consult for that obligation (its closure is
+// depth-bounded; the slice is not), which is exactly what a sound
+// invalidation key needs: an edit *outside* the slice can never change
+// the verdict, so it must not change the fingerprint either.
+//
+// Order matters: nets are emitted in first-occurrence (worklist) order
+// and functions in first-reference order, so the serialization built on
+// top of a slice is deterministic and canonical-index renaming is stable
+// across runs and across alpha-renamed designs.
+#pragma once
+
+#include "sem/hir.hpp"
+#include "sem/updates.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace svlc::sem {
+
+struct DependencySlice {
+    /// Transitive closure of the roots (roots first, then discovered nets
+    /// in worklist order; duplicates removed at first occurrence).
+    std::vector<hir::NetId> nets;
+    /// Label functions applied by the labels of slice nets, in
+    /// first-reference order.
+    std::vector<FuncId> functions;
+};
+
+/// Lazy per-net cache of the dependency edges `dependency_slice` walks:
+/// the nets a net's label-function arguments and defining-equation reads
+/// reach directly, plus the functions its label applies. A checker run
+/// computes thousands of heavily-overlapping slices; caching the edge
+/// lists turns each closure into pure vector iteration (one expression
+/// walk per net per run). Keyed by raw NetId — never reuse across
+/// elaborations.
+class SliceGraph {
+public:
+    struct Edges {
+        std::vector<hir::NetId> nets;
+        std::vector<FuncId> funcs;
+    };
+    const Edges& edges(const hir::Design& design, const Equations& eqs,
+                       hir::NetId n);
+
+private:
+    std::unordered_map<hir::NetId, Edges> cache_;
+};
+
+/// Expands `roots` to its dependency closure over label-function
+/// arguments and defining-equation reads. Roots may contain duplicates.
+/// `graph`, when supplied, carries per-net edge walks across calls.
+DependencySlice dependency_slice(const hir::Design& design,
+                                 const Equations& eqs,
+                                 const std::vector<hir::NetId>& roots,
+                                 SliceGraph* graph = nullptr);
+
+} // namespace svlc::sem

@@ -203,7 +203,7 @@ TEST_F(IncrTest, CorruptVerdictIsDiscardedNotReplayed) {
     // Flip one payload byte: checksum mismatch → discarded and deleted.
     fs::path file;
     for (const auto& e :
-         fs::recursive_directory_iterator(fs::path(store_dir()) / "v1" /
+         fs::recursive_directory_iterator(fs::path(store_dir()) / "v2" /
                                           "verdicts"))
         if (e.is_regular_file())
             file = e.path();
@@ -221,7 +221,7 @@ TEST_F(IncrTest, CorruptVerdictIsDiscardedNotReplayed) {
 
     // Truncation likewise fails closed.
     ASSERT_TRUE(store.store_verdict(fp, v));
-    fs::resize_file(fs::path(store_dir()) / "v1" / "verdicts" /
+    fs::resize_file(fs::path(store_dir()) / "v2" / "verdicts" /
                         fp.substr(0, 2) / fp,
                     12);
     EXPECT_FALSE(store.load_verdict(fp).has_value());
@@ -236,7 +236,7 @@ TEST_F(IncrTest, VersionMismatchedStoreIsRebuilt) {
     ASSERT_TRUE(store.store_verdict(fp, {}));
 
     ASSERT_TRUE(write_file_atomic(
-        (fs::path(store_dir()) / "v1" / "FORMAT").string(),
+        (fs::path(store_dir()) / "v2" / "FORMAT").string(),
         "svlc-store/v999\n"));
 
     ArtifactStore next({store_dir(), 1024});
@@ -312,7 +312,7 @@ TEST_F(IncrTest, CorruptEntailFileLoadsAsEmpty) {
     cache.insert("a-key", {1});
     ASSERT_EQ(store.flush_entail(cache), 1u);
 
-    fs::path file = fs::path(store_dir()) / "v1" / "entail.cache";
+    fs::path file = fs::path(store_dir()) / "v2" / "entail.cache";
     fs::resize_file(file, 30);
 
     solver::EntailCache warm;
@@ -369,8 +369,8 @@ void expect_stores_identical(const std::string& a, const std::string& b) {
         EXPECT_TRUE(read_file(p.string(), text)) << p;
         return text;
     };
-    fs::path ea = fs::path(a) / "v1" / "entail.cache";
-    fs::path eb = fs::path(b) / "v1" / "entail.cache";
+    fs::path ea = fs::path(a) / "v2" / "entail.cache";
+    fs::path eb = fs::path(b) / "v2" / "entail.cache";
     EXPECT_EQ(fs::exists(ea), fs::exists(eb));
     if (fs::exists(ea)) {
         EXPECT_EQ(slurp(ea), slurp(eb));
@@ -378,7 +378,7 @@ void expect_stores_identical(const std::string& a, const std::string& b) {
 
     auto verdict_files = [](const std::string& root) {
         std::vector<fs::path> rel;
-        fs::path base = fs::path(root) / "v1" / "verdicts";
+        fs::path base = fs::path(root) / "v2" / "verdicts";
         if (fs::exists(base))
             for (const auto& e : fs::recursive_directory_iterator(base))
                 if (e.is_regular_file())
@@ -389,8 +389,8 @@ void expect_stores_identical(const std::string& a, const std::string& b) {
     auto fa = verdict_files(a);
     ASSERT_EQ(fa, verdict_files(b));
     for (const auto& rel : fa)
-        EXPECT_EQ(slurp(fs::path(a) / "v1" / "verdicts" / rel),
-                  slurp(fs::path(b) / "v1" / "verdicts" / rel))
+        EXPECT_EQ(slurp(fs::path(a) / "v2" / "verdicts" / rel),
+                  slurp(fs::path(b) / "v2" / "verdicts" / rel))
             << rel;
 }
 
@@ -456,7 +456,7 @@ TEST_F(IncrTest, MergeToleratesCorruptPeerEntry) {
     ASSERT_TRUE(b.store_verdict(good, sample_verdict(true, 1)));
     ASSERT_TRUE(b.store_verdict(bad, sample_verdict(false, 2)));
 
-    fs::path bad_file = fs::path(b_dir) / "v1" / "verdicts" /
+    fs::path bad_file = fs::path(b_dir) / "v2" / "verdicts" /
                         bad.substr(0, 2) / bad;
     ASSERT_TRUE(fs::exists(bad_file));
     {
@@ -552,6 +552,289 @@ TEST_F(IncrTest, MergeIsByteDeterministicAcrossOrders) {
     auto both = mx.lookup("both-key");
     ASSERT_TRUE(both.has_value());
     EXPECT_EQ(both->candidates, 20u);
+}
+
+// --- obligation records (v2) -----------------------------------------------
+
+TEST(IncrCodec, StoredObligationRoundTripsAndFailsClosed) {
+    incr::StoredObligation o;
+    o.proven = false;
+    o.lhs_level = 1;
+    o.rhs_level = 0;
+    o.witness.push_back({3, false, 0x2au});
+    o.witness.push_back({0, true, 1u});
+    std::string payload = incr::encode_stored_obligation(o);
+
+    incr::StoredObligation out;
+    ASSERT_TRUE(incr::decode_stored_obligation(payload, out));
+    EXPECT_EQ(out.proven, o.proven);
+    EXPECT_EQ(out.lhs_level, o.lhs_level);
+    EXPECT_EQ(out.rhs_level, o.rhs_level);
+    ASSERT_EQ(out.witness.size(), 2u);
+    EXPECT_EQ(out.witness[0].var, 3u);
+    EXPECT_FALSE(out.witness[0].primed);
+    EXPECT_EQ(out.witness[0].value, 0x2au);
+    EXPECT_EQ(out.witness[1].var, 0u);
+    EXPECT_TRUE(out.witness[1].primed);
+    // Equal records encode to equal bytes (the merge/wire invariant).
+    EXPECT_EQ(payload, incr::encode_stored_obligation(out));
+
+    incr::StoredObligation proven;
+    proven.proven = true;
+    std::string pp = incr::encode_stored_obligation(proven);
+    ASSERT_TRUE(incr::decode_stored_obligation(pp, out));
+    EXPECT_TRUE(out.proven);
+    EXPECT_TRUE(out.witness.empty());
+
+    // Truncation and trailing garbage both fail closed.
+    EXPECT_FALSE(incr::decode_stored_obligation(
+        payload.substr(0, payload.size() / 2), out));
+    EXPECT_FALSE(incr::decode_stored_obligation(payload + "junk", out));
+    EXPECT_FALSE(incr::decode_stored_obligation("", out));
+}
+
+TEST_F(IncrTest, ObligationStoreRoundTripAndCorruptionDiscard) {
+    ArtifactStore store({store_dir(), 1024});
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+
+    std::string fp = sha256_hex("an obligation");
+    EXPECT_FALSE(store.load_obligation(fp).has_value());
+    EXPECT_FALSE(store.has_obligation(fp));
+
+    incr::StoredObligation o;
+    o.proven = false;
+    o.lhs_level = 1;
+    o.rhs_level = 0;
+    o.witness.push_back({2, true, 7u});
+    ASSERT_TRUE(store.store_obligation(fp, o));
+    EXPECT_TRUE(store.has_obligation(fp));
+    auto got = store.load_obligation(fp);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_FALSE(got->proven);
+    ASSERT_EQ(got->witness.size(), 1u);
+    EXPECT_EQ(got->witness[0].var, 2u);
+
+    EXPECT_EQ(store.list_obligations(),
+              std::vector<std::string>{fp});
+
+    auto s = store.stats();
+    EXPECT_EQ(s.obligation_hits, 1u);
+    EXPECT_EQ(s.obligation_misses, 1u);
+    EXPECT_EQ(s.obligation_stores, 1u);
+
+    // Bit-flip → checksum mismatch → discarded and deleted, never
+    // replayed.
+    fs::path file = fs::path(store_dir()) / "v2" / "obligations" /
+                    fp.substr(0, 2) / fp;
+    ASSERT_TRUE(fs::exists(file));
+    {
+        std::fstream f(file,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(
+            std::string(incr::kStoreFormat).size() + 10));
+        f.put('X');
+    }
+    EXPECT_FALSE(store.load_obligation(fp).has_value());
+    EXPECT_EQ(store.stats().corrupt_discarded, 1u);
+    EXPECT_FALSE(fs::exists(file));
+}
+
+TEST_F(IncrTest, MergeCarriesObligationRecords) {
+    std::string a_dir = (dir_ / "a").string();
+    std::string b_dir = (dir_ / "b").string();
+    ArtifactStore a({a_dir, 1024}), b({b_dir, 1024});
+    std::string error;
+    ASSERT_TRUE(a.open(error)) << error;
+    ASSERT_TRUE(b.open(error)) << error;
+
+    std::string shared = sha256_hex("shared-ob"),
+                only_b = sha256_hex("b-only-ob");
+    incr::StoredObligation o;
+    o.proven = true;
+    ASSERT_TRUE(a.store_obligation(shared, o));
+    ASSERT_TRUE(b.store_obligation(shared, o));
+    ASSERT_TRUE(b.store_obligation(only_b, o));
+
+    auto stats = a.merge_from(b_dir, error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    EXPECT_EQ(stats->obligations_added, 1u);
+    EXPECT_EQ(stats->obligations_present, 1u);
+    EXPECT_TRUE(a.has_obligation(only_b));
+    EXPECT_EQ(a.list_obligations().size(), 2u);
+}
+
+TEST_F(IncrTest, LegacyV1StoreIsDiscardedWholesale) {
+    // A committed v1-generation store (the pre-obligation schema): opening
+    // it must discard the whole v1/ tree in one step — no entry is ever
+    // read through the old framing — and rebuild under v2/.
+    fs::path fixture = fs::path(SVLC_FIXTURE_DIR) / "store_v1";
+    ASSERT_TRUE(fs::exists(fixture / "v1" / "FORMAT"));
+    fs::copy(fixture, dir_ / "store", fs::copy_options::recursive);
+    ASSERT_TRUE(fs::exists(fs::path(store_dir()) / "v1" / "FORMAT"));
+
+    ArtifactStore store({store_dir(), 1024});
+    std::string error;
+    ASSERT_TRUE(store.open(error)) << error;
+    EXPECT_EQ(store.stats().legacy_discarded, 1u);
+    EXPECT_FALSE(fs::exists(fs::path(store_dir()) / "v1"));
+    EXPECT_TRUE(fs::exists(fs::path(store_dir()) / "v2" / "FORMAT"));
+
+    // The rebuilt store is immediately usable, and nothing leaked from
+    // the discarded generation.
+    EXPECT_TRUE(store.list_verdicts().empty());
+    EXPECT_TRUE(store.list_obligations().empty());
+    std::string fp = sha256_hex("fresh");
+    ASSERT_TRUE(store.store_verdict(fp, {}));
+    EXPECT_TRUE(store.load_verdict(fp).has_value());
+
+    // A second open is clean: no v1/ left, no second discard.
+    ArtifactStore again({store_dir(), 1024});
+    ASSERT_TRUE(again.open(error)) << error;
+    EXPECT_EQ(again.stats().legacy_discarded, 0u);
+}
+
+// --- obligation-level incrementality (driver) ------------------------------
+
+/// Two-slice design: `who`'s obligations depend only on {handoff, who};
+/// `count`'s read u_step. Editing u_step's label must re-solve exactly
+/// the count-slice obligations and replay the rest.
+const char* kSliced = R"(
+lattice { level T; level U; flow T -> U; }
+function owner(x:1) { 0 -> T; default -> U; }
+module shared(input com {T} handoff,
+              input com [7:0] {U} u_step,
+              output com [7:0] {U} value);
+  reg seq {T} who;
+  reg seq [7:0] {owner(who)} count;
+  assign value = count;
+  always @(seq) begin
+    if (handoff) who <= ~who;
+  end
+  always @(seq) begin
+    if (handoff && (who == 1'b1) && (next(who) == 1'b0))
+      count <= 8'h00;
+    else if (who == 1'b1)
+      count <= count + u_step;
+    else
+      count <= count + 8'h01;
+  end
+endmodule
+)";
+
+TEST_F(IncrTest, WhitespaceEditReplaysEveryObligation) {
+    std::string path = write("a.svlc", kSliced);
+    std::vector<JobSpec> jobs = {{path, path, "", "", 0}};
+    DriverOptions opts;
+    opts.store_dir = store_dir();
+
+    BatchReport cold = VerificationDriver(opts).run(jobs);
+    ASSERT_EQ(cold.results[0].status, JobStatus::Secure);
+    size_t total = cold.results[0].obligations;
+    ASSERT_GT(total, 0u);
+    EXPECT_EQ(cold.results[0].obligations_solved, total);
+    EXPECT_EQ(cold.results[0].obligations_replayed, 0u);
+
+    // Comment + whitespace edit: the job fingerprint misses (bytes
+    // changed) but every obligation fingerprint hits — zero solver work.
+    write("a.svlc", "// an explanatory comment\n\n" + std::string(kSliced) +
+                        "\n\n");
+    BatchReport warm = VerificationDriver(opts).run(jobs);
+    EXPECT_FALSE(warm.results[0].skipped);
+    EXPECT_EQ(warm.results[0].obligations, total);
+    EXPECT_EQ(warm.results[0].obligations_replayed, total);
+    EXPECT_EQ(warm.results[0].obligations_solved, 0u);
+    EXPECT_EQ(warm.results[0].solver.queries, 0u);
+
+    // The replayed report is byte-identical to a from-scratch run of the
+    // edited text.
+    DriverOptions no_store;
+    BatchReport fresh = VerificationDriver(no_store).run(jobs);
+    EXPECT_EQ(warm.to_json(false), fresh.to_json(false));
+    // The summary's verdict lines agree; its trailing solver line is
+    // telemetry (0 queries when everything replays) and excluded.
+    EXPECT_EQ(warm.summary().substr(0, warm.summary().find("solver:")),
+              fresh.summary().substr(0, fresh.summary().find("solver:")));
+}
+
+TEST_F(IncrTest, OneNetLabelEditResolvesOnlyDependentSlice) {
+    std::string path = write("a.svlc", kSliced);
+    std::vector<JobSpec> jobs = {{path, path, "", "", 0}};
+    DriverOptions opts;
+    opts.store_dir = store_dir();
+
+    BatchReport cold = VerificationDriver(opts).run(jobs);
+    size_t total = cold.results[0].obligations;
+    ASSERT_GT(total, 1u);
+
+    // One-net label edit: u_step {U} -> {T} (T flows to U, still secure).
+    // Only the obligation whose constraint reads u_step's label — the
+    // count update — re-solves; who/value/hold obligations replay.
+    std::string edited(kSliced);
+    size_t pos = edited.find("{U} u_step");
+    ASSERT_NE(pos, std::string::npos);
+    edited.replace(pos, 3, "{T}");
+    write("a.svlc", edited);
+
+    BatchReport warm = VerificationDriver(opts).run(jobs);
+    EXPECT_EQ(warm.results[0].status, JobStatus::Secure);
+    EXPECT_EQ(warm.results[0].obligations, total);
+    EXPECT_EQ(warm.results[0].obligations_solved, 1u);
+    EXPECT_EQ(warm.results[0].obligations_replayed, total - 1);
+
+    DriverOptions no_store;
+    BatchReport fresh = VerificationDriver(no_store).run(jobs);
+    EXPECT_EQ(warm.to_json(false), fresh.to_json(false));
+}
+
+/// Rejected with a *bound* counterexample: U ⊑ lb(sel) is refuted at
+/// sel=0, so the stored obligation carries a witness binding to rebind
+/// and re-render on replay.
+const char* kRejectedWitness = R"(
+lattice { level T; level U; flow T -> U; }
+function lb(x:1) { 0 -> T; default -> U; }
+module bad(input com {U} dirty, input com {T} sel);
+  reg seq {lb(sel)} creg;
+  always @(seq) begin
+    creg <= dirty;
+  end
+endmodule
+)";
+
+TEST_F(IncrTest, JobRenameReplaysProofsAndRerendersDiagnostics) {
+    // Names and locations are render-only: a rename misses the whole-job
+    // fingerprint (the stored verdict's diagnostics embed the name) but
+    // hits every obligation fingerprint, so proofs — including refutation
+    // witnesses — replay while diagnostics re-render under the new name.
+    std::string old_path = write("old.svlc", kRejectedWitness);
+    DriverOptions opts;
+    opts.store_dir = store_dir();
+    BatchReport cold =
+        VerificationDriver(opts).run({{old_path, old_path, "", "", 0}});
+    ASSERT_EQ(cold.results[0].status, JobStatus::Rejected);
+    size_t total = cold.results[0].obligations;
+    ASSERT_GT(cold.results[0].failed, 0u);
+
+    std::string new_path = write("renamed.svlc", kRejectedWitness);
+    std::vector<JobSpec> renamed = {{new_path, new_path, "", "", 0}};
+    BatchReport warm = VerificationDriver(opts).run(renamed);
+    EXPECT_FALSE(warm.results[0].skipped); // job fp embeds the name
+    EXPECT_EQ(warm.results[0].obligations, total);
+    EXPECT_EQ(warm.results[0].obligations_replayed, total);
+    EXPECT_EQ(warm.results[0].obligations_solved, 0u);
+    EXPECT_EQ(warm.results[0].status, JobStatus::Rejected);
+    EXPECT_NE(warm.results[0].diagnostics.find("renamed.svlc"),
+              std::string::npos);
+    EXPECT_EQ(warm.results[0].diagnostics.find("old.svlc"),
+              std::string::npos);
+
+    // Byte-identical to a cold run of the renamed job — witness text in
+    // the flagged records included.
+    DriverOptions no_store;
+    BatchReport fresh = VerificationDriver(no_store).run(renamed);
+    EXPECT_EQ(warm.to_json(false), fresh.to_json(false));
+    ASSERT_FALSE(warm.results[0].flagged.empty());
+    EXPECT_FALSE(warm.results[0].flagged[0].witness.empty());
 }
 
 // --- driver integration ----------------------------------------------------

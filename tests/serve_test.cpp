@@ -260,6 +260,66 @@ TEST(Serve, DidChangePushesDiagnostics) {
     EXPECT_EQ(notes2[0].params.find("diagnostics")->size(), 0u);
 }
 
+TEST(Serve, DidChangeReplaysObligationsAndFiltersPush) {
+    // Obligation-granular incrementality through the daemon: with a store
+    // configured, an edit that changes bytes but no constraint (comment
+    // prepend) re-solves nothing, and the didChange push omits replayed
+    // obligations' diagnostics — the client already has them.
+    fs::path store =
+        fs::temp_directory_path() /
+        ("svlc_serve_test_incr_store_" + std::to_string(::getpid()));
+    fs::remove_all(store);
+    ServeOptions opts = test_options(unique_socket("increplay"));
+    opts.store_dir = store.string();
+    TestServer ts(std::move(opts));
+    ASSERT_TRUE(ts.start());
+    std::string error;
+    auto client = Client::connect(ts.server.socket_path(), error);
+    ASSERT_TRUE(client.has_value()) << error;
+
+    std::vector<RpcMessage> notes;
+    JsonValue first = call_ok(*client, "didChange",
+                              verify_params("i.svlc", kRejectedSrc), &notes);
+    EXPECT_EQ(first.get_string("status"), "rejected");
+    uint64_t total = first.get_uint("obligations");
+    ASSERT_GT(total, 0u);
+    EXPECT_EQ(first.get_uint("obligations_solved"), total);
+    EXPECT_EQ(first.get_uint("obligations_replayed"), 0u);
+    ASSERT_EQ(notes.size(), 1u);
+    ASSERT_GE(notes[0].params.find("diagnostics")->size(), 1u);
+
+    // Comment-prepend edit: same constraints, new bytes. Every proof
+    // replays; the push carries nothing the client hasn't seen.
+    std::vector<RpcMessage> notes2;
+    JsonValue second = call_ok(
+        *client, "didChange",
+        verify_params("i.svlc", "// touch\n" + std::string(kRejectedSrc)),
+        &notes2);
+    EXPECT_EQ(second.get_string("status"), "rejected");
+    EXPECT_FALSE(second.get_bool("cached")); // bytes changed: not a hit
+    EXPECT_EQ(second.get_uint("obligations"), total);
+    EXPECT_EQ(second.get_uint("obligations_replayed"), total);
+    EXPECT_EQ(second.get_uint("obligations_solved"), 0u);
+    ASSERT_EQ(notes2.size(), 1u);
+    EXPECT_EQ(notes2[0].params.find("diagnostics")->size(), 0u);
+    // The response still carries the full (re-rendered) diagnostics.
+    EXPECT_FALSE(second.get_string("diagnostics").empty());
+
+    // Write-through: a cold batch over the store replays the obligations
+    // of a renamed (job-fingerprint-missing) copy of the same design.
+    ts.stop();
+    driver::DriverOptions dopts;
+    dopts.store_dir = store.string();
+    driver::JobSpec job;
+    job.name = "renamed.svlc";
+    job.source = kRejectedSrc;
+    driver::BatchReport report = driver::VerificationDriver(dopts).run({job});
+    EXPECT_EQ(report.skipped_count(), 0u);
+    EXPECT_EQ(report.results[0].obligations_replayed, total);
+    EXPECT_EQ(report.results[0].obligations_solved, 0u);
+    fs::remove_all(store);
+}
+
 TEST(Serve, ConcurrentClientsDoNotInterleaveFrames) {
     TestServer ts(test_options(unique_socket("conc")));
     ASSERT_TRUE(ts.start());

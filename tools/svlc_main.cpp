@@ -2,7 +2,7 @@
 //
 //   svlc check <file.svlc> [--top M] [--classic] [--no-hold]
 //              [--solver enum|prune|cdcl] [--json out.json] [--stats]
-//              [--remote SOCKET]
+//              [--remote SOCKET] [--store DIR]
 //   svlc serve --socket PATH [--store DIR] [--max-sessions N]
 //              [--idle-timeout SEC] [--timeout-ms T]
 //              [--classic] [--no-hold] [--solver enum|prune|cdcl]
@@ -38,6 +38,8 @@
 #include "driver/watch.hpp"
 #include "fuzz/reducer.hpp"
 #include "fuzz/runner.hpp"
+#include "incr/replay.hpp"
+#include "incr/store.hpp"
 #include "pipeline/compilation.hpp"
 #include "proc/assembler.hpp"
 #include "proc/isa.hpp"
@@ -60,6 +62,7 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -73,7 +76,7 @@ int usage() {
                  "usage:\n"
                  "  svlc check <file.svlc> [--top M] [--classic] [--no-hold]\n"
                  "             [--solver enum|prune|cdcl] [--json out.json] [--stats]\n"
-                 "             [--remote SOCKET]\n"
+                 "             [--remote SOCKET] [--store DIR]\n"
                  "  svlc serve --socket PATH [--store DIR] [--max-sessions N]\n"
                  "             [--idle-timeout SEC] [--timeout-ms T]\n"
                  "             [--classic] [--no-hold] [--solver enum|prune|cdcl]\n"
@@ -596,7 +599,28 @@ int cmd_check(const Args& args) {
         std::fputs(comp.render_diagnostics().c_str(), stderr);
         return 1;
     }
+    // --store: replay unchanged obligations from the persistent store and
+    // write freshly solved verdicts through. A broken store degrades to a
+    // cold check, never a failed one.
+    std::unique_ptr<incr::ArtifactStore> store;
+    if (!args.store_dir.empty()) {
+        incr::StoreOptions sopts;
+        sopts.dir = args.store_dir;
+        auto s = std::make_unique<incr::ArtifactStore>(sopts);
+        std::string serror;
+        if (s->open(serror))
+            store = std::move(s);
+        else
+            std::fprintf(stderr, "svlc: store disabled: %s\n",
+                         serror.c_str());
+    }
+    std::optional<incr::ObligationReplayer> oracle;
+    if (store && comp.elaborate()) {
+        oracle.emplace(*store, *comp.design(), comp.options().check);
+        comp.options().check.oracle = &*oracle;
+    }
     const check::CheckResult* checked = comp.check();
+    comp.options().check.oracle = nullptr;
     std::fputs(comp.render_diagnostics().c_str(), stderr);
     if (!checked)
         return 1;
@@ -612,9 +636,14 @@ int cmd_check(const Args& args) {
         out << pipeline::check_report_json(comp, result, args.file);
         std::fprintf(stderr, "wrote %s\n", args.json_path.c_str());
     }
-    if (args.stats)
+    if (args.stats) {
         std::fputs(pipeline::solver_stats_line(result.solver_stats).c_str(),
                    stderr);
+        if (store)
+            std::fprintf(stderr, "incremental: %zu replayed, %zu re-solved\n",
+                         result.obligations_replayed,
+                         result.obligations_solved);
+    }
     return result.ok ? 0 : 1;
 }
 
@@ -800,7 +829,7 @@ int cmd_batch(const Args& args) {
                  static_cast<unsigned long long>(report.cache.misses),
                  report.cache.hit_rate() * 100.0,
                  static_cast<unsigned long long>(report.cache.entries));
-    if (report.store_enabled)
+    if (report.store_enabled) {
         std::fprintf(
             stderr,
             "store: %zu skipped via fingerprint, %llu stored, %llu entail "
@@ -810,6 +839,18 @@ int cmd_batch(const Args& args) {
             static_cast<unsigned long long>(report.store.entail_loaded),
             static_cast<unsigned long long>(report.store.entail_flushed),
             static_cast<unsigned long long>(report.store.corrupt_discarded));
+        size_t replayed = 0, solved = 0;
+        for (const auto& r : report.results) {
+            replayed += r.obligations_replayed;
+            solved += r.obligations_solved;
+        }
+        std::fprintf(
+            stderr,
+            "store: %zu obligation(s) replayed, %zu re-solved, %llu "
+            "obligation record(s) written\n",
+            replayed, solved,
+            static_cast<unsigned long long>(report.store.obligation_stores));
+    }
     if (!args.json_path.empty()) {
         std::ofstream out(args.json_path);
         if (!out) {
