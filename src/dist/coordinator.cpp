@@ -110,6 +110,11 @@ bool Coordinator::start(std::string& error) {
             decide(i, std::move(res));
             continue;
         }
+        // Hunt jobs keep an empty fingerprint: it does not cover search
+        // parameters, so a stored check verdict must never answer (or be
+        // overwritten by) a hunt outcome.
+        if (js.spec.hunt_depth > 0)
+            continue;
         js.fingerprint = incr::job_fingerprint(js.spec.name, js.text,
                                                js.spec.top, opts_.check);
         if (store_) {
@@ -348,6 +353,8 @@ JsonValue Coordinator::do_lease(const JsonValue& params, int& err_code,
                                            ? js.spec.timeout_ms
                                            : opts_.timeout_ms));
     result.set("fingerprint", JsonValue(js.fingerprint));
+    if (js.spec.hunt_depth > 0)
+        result.set("hunt", JsonValue(js.spec.hunt_depth));
     return result;
 }
 

@@ -15,7 +15,13 @@
 //             diverge and stores could not be pooled.
 //   lease     {worker_id}
 //             → {state:"job", lease, name, source, top, timeout_ms,
-//                fingerprint}
+//                fingerprint, hunt?}
+//             `hunt` (absent for check jobs) is a search depth: the
+//             worker runs the bounded symbolic leak hunter (src/hunt)
+//             instead of the checker. Hunt jobs ship an empty
+//             fingerprint and bypass every store path on both sides —
+//             the fingerprint does not cover hunt parameters, so hunt
+//             outcomes and check verdicts must never alias.
 //             | {state:"wait", backoff_ms}   (work exists, none leasable)
 //             | {state:"done"}               (every job decided)
 //             Shard affinity: jobs whose fingerprint hashes to this

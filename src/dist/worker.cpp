@@ -119,18 +119,37 @@ bool Worker::run(std::string& error) {
         spec.name = response.result.get_string("name");
         spec.top = response.result.get_string("top");
         spec.timeout_ms = response.result.get_uint("timeout_ms");
+        spec.hunt_depth = response.result.get_uint("hunt", 0);
         std::string text = response.result.get_string("source");
 
         // Recompute the fingerprint locally: it must agree with the
         // coordinator's, or the two sides are not running the same tool
         // over the same bytes and pooling results would be unsound.
+        // Hunt jobs travel fingerprint-free (the fingerprint does not
+        // cover hunt parameters) and never touch the store.
         std::string fp =
-            incr::job_fingerprint(spec.name, text, spec.top, copts);
+            spec.hunt_depth > 0
+                ? std::string()
+                : incr::job_fingerprint(spec.name, text, spec.top, copts);
         std::string coord_fp = response.result.get_string("fingerprint");
 
         driver::JobResult res;
         bool skipped = false;
-        if (!coord_fp.empty() && coord_fp != fp) {
+        if (spec.hunt_depth > 0) {
+            for (int attempt = 0; attempt < 2; ++attempt) {
+                try {
+                    res = driver::hunt_text(spec, text);
+                    break;
+                } catch (const std::exception& e) {
+                    res = driver::JobResult();
+                    res.name = spec.name;
+                    res.status = driver::JobStatus::Error;
+                    res.diagnostics =
+                        std::string("exception: ") + e.what();
+                }
+            }
+            ++stats_.verified;
+        } else if (!coord_fp.empty() && coord_fp != fp) {
             res.name = spec.name;
             res.status = driver::JobStatus::Error;
             res.diagnostics = "fingerprint mismatch (worker " + fp +

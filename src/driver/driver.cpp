@@ -1,5 +1,6 @@
 #include "driver/driver.hpp"
 
+#include "hunt/hunter.hpp"
 #include "incr/fingerprint.hpp"
 #include "incr/replay.hpp"
 #include "pipeline/compilation.hpp"
@@ -127,6 +128,38 @@ JobResult verify_text(pipeline::Compilation& comp, const JobSpec& spec,
     return finish(cres.ok ? JobStatus::Secure : JobStatus::Rejected);
 }
 
+JobResult hunt_text(const JobSpec& spec, const std::string& text) {
+    JobResult res;
+    res.name = spec.name;
+    Clock::time_point start = Clock::now();
+    double cpu_start = thread_cpu_ms();
+    auto finish = [&](JobStatus status) {
+        res.status = status;
+        res.wall_ms = ms_since(start);
+        res.cpu_ms = thread_cpu_ms() - cpu_start;
+        return res;
+    };
+
+    pipeline::CompilationOptions popts;
+    popts.top = spec.top;
+    pipeline::Compilation comp(std::move(popts));
+    comp.load_text(text, spec.name);
+    if (!comp.elaborate()) {
+        res.diagnostics = comp.render_diagnostics();
+        return finish(JobStatus::Rejected);
+    }
+    hunt::HuntOptions hopts;
+    hopts.depth = spec.hunt_depth;
+    hunt::HuntResult hr = hunt::hunt(*comp.design(), hopts);
+    res.diagnostics = hunt::render_hunt(*comp.design(), hr);
+    // A confirmed leak trace is the hunt analogue of a flow violation; a
+    // bounded certificate (or a secret-free design) the analogue of a
+    // clean check. Hunt never times out — the depth bound is the budget.
+    return finish(hr.verdict == hunt::HuntVerdict::Leak
+                      ? JobStatus::Rejected
+                      : JobStatus::Secure);
+}
+
 bool store_job_verdict(incr::ArtifactStore& store, const std::string& fp,
                        const JobResult& res) {
     if (fp.empty() || (res.status != JobStatus::Secure &&
@@ -164,6 +197,8 @@ JobResult job_result_from_verdict(const std::string& name,
 
 JobResult VerificationDriver::run_job_once(const JobSpec& spec,
                                            const std::string& text) {
+    if (spec.hunt_depth > 0)
+        return hunt_text(spec, text);
     pipeline::CompilationOptions popts;
     popts.check = opts_.check;
     pipeline::Compilation comp(std::move(popts));
@@ -183,9 +218,11 @@ JobResult VerificationDriver::run_job(const JobSpec& spec) {
 
     // Fingerprint gate: an unchanged job (same source bytes, top, checker
     // configuration, tool version) replays its stored verdict without
-    // touching the pipeline at all.
+    // touching the pipeline at all. Hunt jobs stay outside the store:
+    // the fingerprint does not cover search depth or seed, so a cached
+    // check verdict and a hunt outcome must never alias.
     std::string fp;
-    if (store_) {
+    if (store_ && spec.hunt_depth == 0) {
         fp = incr::job_fingerprint(spec.name, text, spec.top, opts_.check);
         if (auto hit = store_->load_verdict(fp))
             return job_result_from_verdict(spec.name, fp, std::move(*hit),

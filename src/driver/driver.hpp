@@ -40,6 +40,11 @@ struct JobSpec {
     /// Per-job deadline override in milliseconds; 0 = use the driver's
     /// DriverOptions::timeout_ms.
     uint64_t timeout_ms = 0;
+    /// Non-zero turns this into a *hunt* job: instead of the static
+    /// checker, run the bounded symbolic leak hunter (src/hunt) to this
+    /// depth. Hunt jobs bypass the verdict store — their outcome depends
+    /// on search parameters the job fingerprint does not cover.
+    uint64_t hunt_depth = 0;
 };
 
 enum class JobStatus {
@@ -152,6 +157,14 @@ JobResult verify_text(pipeline::Compilation& comp, const JobSpec& spec,
                       solver::EntailCache* cache,
                       incr::ArtifactStore* store = nullptr);
 
+/// The hunt-job counterpart of verify_text: elaborates `text` and runs
+/// the bounded symbolic leak hunter to spec.hunt_depth. A confirmed leak
+/// trace maps to Rejected, a bounded no-leak certificate (or a
+/// no-secrets design) to Secure; the rendered hunt report travels in
+/// JobResult::diagnostics. Shared by the batch driver and the
+/// distributed worker so both render hunt jobs identically.
+JobResult hunt_text(const JobSpec& spec, const std::string& text);
+
 /// Persists a job's verdict under fingerprint `fp`. Only deterministic
 /// verdicts (Secure/Rejected) are stored — a timeout depends on the
 /// deadline and an error on transient conditions, so replaying either
@@ -229,7 +242,8 @@ bool builtin_job(const std::string& name, JobSpec& out);
 
 /// Reads a manifest: one job per line, `#` comments. Each line is a path
 /// (resolved relative to the manifest's directory) or builtin:<variant>,
-/// optionally followed by `top=<module>` and/or `timeout=<ms>`.
+/// optionally followed by `top=<module>`, `timeout=<ms>`, and/or
+/// `hunt=<depth>` (run the symbolic leak hunter instead of the checker).
 bool jobs_from_manifest(const std::string& manifest_path,
                         std::vector<JobSpec>& out, std::string& error);
 

@@ -41,6 +41,7 @@ bool jobs_from_manifest(const std::string& manifest_path,
         std::istringstream toks(entry);
         std::string target, top;
         uint64_t timeout_ms = 0;
+        uint64_t hunt_depth = 0;
         toks >> target;
         std::string tok;
         while (toks >> tok) {
@@ -53,6 +54,15 @@ bool jobs_from_manifest(const std::string& manifest_path,
                 if (v.empty() || (end && *end)) {
                     error = manifest_path + ":" + std::to_string(lineno) +
                             ": bad timeout '" + v + "'";
+                    return false;
+                }
+            } else if (tok.rfind("hunt=", 0) == 0) {
+                char* end = nullptr;
+                std::string v = tok.substr(5);
+                hunt_depth = std::strtoull(v.c_str(), &end, 10);
+                if (v.empty() || (end && *end) || hunt_depth == 0) {
+                    error = manifest_path + ":" + std::to_string(lineno) +
+                            ": bad hunt depth '" + v + "'";
                     return false;
                 }
             } else {
@@ -77,6 +87,7 @@ bool jobs_from_manifest(const std::string& manifest_path,
         }
         spec.top = top;
         spec.timeout_ms = timeout_ms;
+        spec.hunt_depth = hunt_depth;
         out.push_back(std::move(spec));
     }
     return true;

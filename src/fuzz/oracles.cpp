@@ -3,6 +3,7 @@
 #include "ast/printer.hpp"
 #include "driver/driver.hpp"
 #include "fuzz/rng.hpp"
+#include "hunt/hunter.hpp"
 #include "parse/parser.hpp"
 #include "pipeline/compilation.hpp"
 #include "sem/wellformed.hpp"
@@ -138,6 +139,28 @@ std::optional<Finding> run_no_crash(const std::string& source,
             sim.step();
         }
         sim.settle();
+
+        // A short hunt doubles as a refinement oracle: TaintSim's bit
+        // taint is a refinement of the tracker's level taint, so every
+        // candidate leak the search flags must replay to a concrete
+        // TaintTracker violation. An unconfirmed candidate is a
+        // precision bug in src/hunt, not a property of the design.
+        hunt::HuntOptions hopts;
+        hopts.depth = 4;
+        hopts.beam = 2;
+        hopts.branch = 2;
+        hopts.seed = cfg.seed;
+        hopts.minimize = false;
+        hunt::HuntResult hr = hunt::hunt(*d, hopts);
+        if (hr.unconfirmed_candidates != 0)
+            return Finding{Oracle::NoCrash,
+                           "hunt: " +
+                               std::to_string(hr.unconfirmed_candidates) +
+                               " candidate leak(s) did not replay to a "
+                               "TaintTracker violation"};
+        if (hr.verdict == hunt::HuntVerdict::Leak && !hr.replay.confirmed)
+            return Finding{Oracle::NoCrash,
+                           "hunt: Leak verdict without a confirmed replay"};
     }
     return std::nullopt;
 }

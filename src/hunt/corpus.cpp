@@ -1,0 +1,175 @@
+#include "hunt/corpus.hpp"
+
+#include "proc/sources.hpp"
+#include "support/fsutil.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+namespace svlc::hunt {
+
+namespace {
+
+const char* kPolicy =
+    "lattice { level T; level U; flow T -> U; }\n"
+    "function mode_to_lb(x:1) { 0 -> T; default -> U; }\n\n";
+
+size_t clog2(size_t n) {
+    size_t bits = 1;
+    while ((size_t{1} << bits) < n)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+std::string ring_scenario_source(size_t cores, bool planted) {
+    std::ostringstream os;
+    os << "// Generated hunt scenario: " << cores << "-core mode-gated ring ("
+       << (planted ? "planted stale-mode leak" : "leak-free") << ").\n"
+       << kPolicy;
+    os << "module ring" << cores << "(";
+    for (size_t i = 0; i < cores; ++i) {
+        if (i)
+            os << ",\n" << std::string(7 + std::to_string(cores).size(), ' ');
+        os << "input com {T} in_mode" << i << ", input com [7:0] {U} in_sec"
+           << i;
+    }
+    os << ");\n";
+    for (size_t i = 0; i < cores; ++i) {
+        os << "  reg seq {T} mode" << i << ";\n"
+           << "  reg seq [7:0] {U} hold" << i << ";\n"
+           << "  reg seq [7:0] {mode_to_lb(mode" << i << ")} slot" << i
+           << ";\n"
+           << "  reg seq [7:0] {T} ring" << i << ";\n";
+    }
+    // Mode updates live in their own always blocks: the clean twins read
+    // next(mode) in the slot process, and a process may not read the
+    // next-value of a register it computes (comb-loop).
+    for (size_t i = 0; i < cores; ++i)
+        os << "  always @(seq) begin\n"
+           << "    mode" << i << " <= in_mode" << i << ";\n"
+           << "  end\n";
+    for (size_t i = 0; i < cores; ++i) {
+        size_t prev = (i + cores - 1) % cores;
+        os << "  always @(seq) begin\n"
+           << "    hold" << i << " <= in_sec" << i << ";\n"
+           << "    ring" << i << " <= ring" << prev << " + 8'h01;\n";
+        if (planted)
+            // Stale guard: the slot's label follows next-cycle mode, but
+            // the write is gated on the current one — Figure 3's bug.
+            os << "    if (mode" << i << " == 1'b1) slot" << i << " <= hold"
+               << i << ";\n"
+               << "    else slot" << i << " <= 8'h00;\n";
+        else
+            os << "    if (next(mode" << i << ") == 1'b1) slot" << i
+               << " <= hold" << i << ";\n"
+               << "    else slot" << i << " <= 8'h00;\n";
+        os << "  end\n";
+    }
+    os << "endmodule\n";
+    return os.str();
+}
+
+std::string cache_scenario_source(size_t words, bool planted) {
+    size_t abits = clog2(words);
+    std::ostringstream os;
+    os << "// Generated hunt scenario: " << words
+       << "-word secret cache with mode-gated readout ("
+       << (planted ? "planted stale-mode leak" : "leak-free") << ").\n"
+       << kPolicy;
+    os << "module cache" << words << "(input com {T} in_mode,\n"
+       << "             input com [" << abits - 1 << ":0] {T} in_addr,\n"
+       << "             input com [7:0] {U} in_sec);\n"
+       << "  reg seq {T} mode;\n"
+       << "  reg seq [7:0] {U} mem[0:" << words - 1 << "];\n"
+       << "  reg seq [7:0] {mode_to_lb(mode)} rd;\n"
+       << "  always @(seq) begin\n"
+       << "    mode <= in_mode;\n"
+       << "  end\n"
+       << "  always @(seq) begin\n"
+       << "    mem[in_addr] <= in_sec;\n";
+    if (planted)
+        os << "    if (mode == 1'b1) rd <= mem[in_addr];\n"
+           << "    else rd <= 8'h00;\n";
+    else
+        os << "    if (next(mode) == 1'b1) rd <= mem[in_addr];\n"
+           << "    else rd <= 8'h00;\n";
+    os << "  end\n"
+       << "endmodule\n";
+    return os.str();
+}
+
+std::vector<Scenario> builtin_scenarios() {
+    std::vector<Scenario> out;
+    for (size_t cores : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+        for (bool planted : {true, false}) {
+            Scenario s;
+            s.name = "ring" + std::to_string(cores) +
+                     (planted ? "_bug" : "_ok");
+            s.source = ring_scenario_source(cores, planted);
+            s.top = "ring" + std::to_string(cores);
+            s.planted_leak = planted;
+            s.depth = 6;
+            out.push_back(std::move(s));
+        }
+    }
+    for (size_t words : {size_t{4}, size_t{16}, size_t{64}}) {
+        for (bool planted : {true, false}) {
+            Scenario s;
+            s.name = "cache" + std::to_string(words) +
+                     (planted ? "_bug" : "_ok");
+            s.source = cache_scenario_source(words, planted);
+            s.top = "cache" + std::to_string(words);
+            s.planted_leak = planted;
+            s.depth = 6;
+            out.push_back(std::move(s));
+        }
+    }
+    {
+        Scenario s;
+        s.name = "proc_labeled";
+        s.source = proc::labeled_cpu_source();
+        s.top = "cpu";
+        s.planted_leak = false;
+        s.depth = 8;
+        out.push_back(std::move(s));
+    }
+    {
+        Scenario s;
+        s.name = "proc_vulnerable";
+        s.source = proc::vulnerable_cpu_source();
+        s.top = "cpu";
+        // The §3.2 pc-update bug needs a crafted program image to fire;
+        // random input hunting at this depth documents reachability cost
+        // rather than asserting a find.
+        s.planted_leak = false;
+        s.depth = 8;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+bool write_corpus(const std::string& dir,
+                  const std::vector<Scenario>& scenarios,
+                  std::string& error) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        error = "cannot create '" + dir + "': " + ec.message();
+        return false;
+    }
+    std::ostringstream manifest;
+    manifest << "# svlc hunt corpus: hunt=<depth> runs the symbolic leak\n"
+             << "# hunter instead of the static checker on each job.\n";
+    for (const Scenario& s : scenarios) {
+        std::string path = dir + "/" + s.name + ".svlc";
+        if (!write_file_atomic(path, s.source, &error))
+            return false;
+        manifest << s.name << ".svlc top=" << s.top << " hunt=" << s.depth
+                 << "\n";
+    }
+    return write_file_atomic(dir + "/manifest.txt", manifest.str(), &error);
+}
+
+} // namespace svlc::hunt

@@ -1,0 +1,89 @@
+// Bit-precise symbolic taint simulation for leak hunting: each net
+// carries its concrete value (the embedded sim::Simulator) plus a
+// per-bit taint mask marking which bits may depend on secret inputs —
+// inputs whose evaluated label does not flow to the chosen observer.
+//
+// Expressions evaluate with three-valued X-propagation mirroring
+// Simulator::eval: an AND with an untainted 0 operand blocks taint, an
+// OR with an untainted 1 does, an equality over bits that differ
+// untainted is decided, and so on. The taint domain is a strict
+// refinement of verify::TaintTracker's level-per-net domain on the same
+// concrete path: whenever a TaintSim bit is tainted, the tracker's
+// level taint for that net cannot flow to the observer (see
+// docs/HUNT.md for the induction). The hunter relies on this: a leak
+// flagged here is re-run through Simulator + TaintTracker as an oracle
+// before it is ever reported.
+#pragma once
+
+#include "sem/hir.hpp"
+#include "sim/simulator.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace svlc::hunt {
+
+/// A net the observer may read held tainted bits just before commit:
+/// `declared` (the label the net carries at the monitored instant —
+/// next-cycle for registers, current for wires) flows to the observer
+/// while `taint` is non-zero.
+struct LeakEvent {
+    uint64_t cycle = 0;
+    hir::NetId net = hir::kInvalidNet;
+    uint64_t taint = 0;
+    LevelId declared = kInvalidLevel;
+};
+
+/// Copy-constructible (for search snapshots); not assignable — the
+/// embedded Simulator pins the design by reference.
+class TaintSim {
+public:
+    TaintSim(const hir::Design& design, LevelId observer);
+
+    /// Drives a primary input for subsequent cycles. Taint is not set
+    /// here: step() seeds every input's taint from its evaluated label,
+    /// exactly when TaintTracker would.
+    void set_input(hir::NetId net, BitVec value);
+
+    /// One full cycle in lock-step with the embedded simulator,
+    /// monitoring observer-visible nets just before the TICK commit.
+    void step();
+
+    [[nodiscard]] const std::vector<LeakEvent>& leaks() const {
+        return leaks_;
+    }
+    [[nodiscard]] uint64_t taint(hir::NetId net) const {
+        return current_[net];
+    }
+    [[nodiscard]] const sim::Simulator& sim() const { return sim_; }
+    [[nodiscard]] uint64_t cycle() const { return sim_.cycle(); }
+    [[nodiscard]] LevelId observer() const { return observer_; }
+
+    /// Search heuristic: total tainted bits across all state, weighted
+    /// so that spreading taint to more nets scores higher than piling
+    /// bits onto one.
+    [[nodiscard]] uint64_t taint_score() const;
+
+private:
+    uint64_t eval_taint(const hir::Expr& e, hir::ProcessKind kind) const;
+    void exec(const hir::Stmt& s, hir::ProcessKind kind, bool pc_tainted);
+    [[nodiscard]] uint64_t width_mask(hir::NetId net) const;
+    [[nodiscard]] LevelId eval_label(const hir::Label& label,
+                                     hir::ProcessKind kind) const;
+
+    const hir::Design& design_;
+    sim::Simulator sim_;
+    LevelId observer_;
+    std::vector<uint64_t> current_;
+    std::vector<uint64_t> pending_; // next-cycle taints of seq nets
+    std::vector<std::vector<uint64_t>> array_taints_;
+    struct ArrayTaintWrite {
+        hir::NetId net;
+        uint64_t index;
+        uint64_t taint;
+    };
+    std::vector<ArrayTaintWrite> array_writes_;
+    std::vector<LeakEvent> leaks_;
+};
+
+} // namespace svlc::hunt

@@ -57,6 +57,9 @@ void Simulator::poke(const std::string& name, uint64_t value) {
 
 void Simulator::poke_elem(NetId net, uint64_t index, BitVec value) {
     auto& arr = arrays_[net];
+    if (arr.empty())
+        throw std::invalid_argument("net '" + design_.net(net).name +
+                                    "' is not an array");
     arr[index % arr.size()] = value.resize(design_.net(net).width);
 }
 
@@ -79,6 +82,9 @@ BitVec Simulator::get(const std::string& name) const {
 
 BitVec Simulator::get_elem(NetId net, uint64_t index) const {
     const auto& arr = arrays_[net];
+    if (arr.empty())
+        throw std::invalid_argument("net '" + design_.net(net).name +
+                                    "' is not an array");
     return arr[index % arr.size()];
 }
 
@@ -100,6 +106,9 @@ BitVec Simulator::eval(const Expr& e) const {
     case ExprKind::ArrayRead: {
         uint64_t idx = eval(*e.index).value();
         const auto& arr = arrays_[e.net];
+        if (arr.empty())
+            throw SimError("array read from non-array net '" +
+                           design_.net(e.net).name + "'");
         idx %= arr.size();
         if (e.primed) {
             // Pending view: the last staged write to this element wins.
@@ -179,11 +188,17 @@ void Simulator::write_scalar(NetId net, const LValue& lv, BitVec value,
         kind == ProcessKind::Comb ? current_ : pending_;
     uint32_t width = design_.net(net).width;
     if (lv.has_range) {
+        // Rebuild the word through BitVec slice/concat: a raw
+        // `mask(w) << lsb` merge is shift-overflow UB for a full-width
+        // 64-bit range write (mask already 2^64-1, lsb possibly != 0 on
+        // narrower fields reaching bit 63).
         BitVec old = store_vec[net];
-        uint64_t mask = BitVec::mask(lv.msb - lv.lsb + 1) << lv.lsb;
-        uint64_t merged = (old.value() & ~mask) |
-                          ((value.value() << lv.lsb) & mask);
-        store_vec[net] = BitVec(width, merged);
+        BitVec merged = value.resize(lv.msb - lv.lsb + 1);
+        if (lv.lsb > 0)
+            merged = merged.concat(old.slice(lv.lsb - 1, 0));
+        if (lv.msb + 1 < width)
+            merged = old.slice(width - 1, lv.msb + 1).concat(merged);
+        store_vec[net] = merged;
     } else {
         store_vec[net] = value.resize(width);
     }

@@ -9,6 +9,7 @@
 #include "support/bitvec.hpp"
 
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,14 @@ namespace svlc::sim {
 struct AssumeViolation {
     uint64_t cycle;
     SourceLoc loc;
+};
+
+/// Raised by expression evaluation on malformed HIR (e.g. an array read
+/// from a scalar net); callers surface it as a diagnostic rather than
+/// letting the interpreter hit undefined behavior.
+class SimError : public std::runtime_error {
+public:
+    explicit SimError(const std::string& what) : std::runtime_error(what) {}
 };
 
 class Simulator {

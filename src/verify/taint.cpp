@@ -29,7 +29,7 @@ void TaintTracker::reset() {
     }
 }
 
-LevelId TaintTracker::eval_taint(const Expr& e,
+LevelId TaintTracker::eval_taint(const Expr& e, ProcessKind kind,
                                  const sim::Simulator& sim) const {
     const Lattice& lat = design_.policy.lattice();
     switch (e.kind) {
@@ -38,7 +38,9 @@ LevelId TaintTracker::eval_taint(const Expr& e,
     case ExprKind::NetRef:
         return e.primed ? pending_[e.net] : current_[e.net];
     case ExprKind::ArrayRead: {
-        LevelId acc = eval_taint(*e.index, sim);
+        LevelId acc = eval_taint(*e.index, kind, sim);
+        if (array_taints_[e.net].empty())
+            return acc; // malformed HIR; the simulator raises on eval
         uint64_t idx = sim.evaluate(*e.index).value() %
                        array_taints_[e.net].size();
         return lat.join(acc, array_taints_[e.net][idx]);
@@ -46,15 +48,21 @@ LevelId TaintTracker::eval_taint(const Expr& e,
     case ExprKind::Downgrade: {
         // The explicit endorse/declassify resets the taint to the static
         // part of the declared target label (dependent parts evaluated on
-        // the live state).
+        // the live state). In a sequential process the value lands next
+        // cycle, so sequential arguments take their pending values —
+        // Γ(r){r⃗'/r⃗}, mirroring Simulator::next_label.
         LevelId acc = lat.bottom();
         for (const auto& atom : e.dg_label.atoms) {
             if (atom.kind == LabelAtom::Kind::Level) {
                 acc = lat.join(acc, atom.level);
             } else {
                 std::vector<uint64_t> args;
-                for (NetId a : atom.args)
-                    args.push_back(sim.get(a).value());
+                for (NetId a : atom.args) {
+                    bool next = kind == ProcessKind::Seq &&
+                                design_.net(a).kind == NetKind::Seq;
+                    args.push_back((next ? sim.get_next(a) : sim.get(a))
+                                       .value());
+                }
                 acc = lat.join(
                     acc, design_.policy.function(atom.func).evaluate(args));
             }
@@ -64,15 +72,15 @@ LevelId TaintTracker::eval_taint(const Expr& e,
     default: {
         LevelId acc = lat.bottom();
         if (e.index)
-            acc = lat.join(acc, eval_taint(*e.index, sim));
+            acc = lat.join(acc, eval_taint(*e.index, kind, sim));
         if (e.a)
-            acc = lat.join(acc, eval_taint(*e.a, sim));
+            acc = lat.join(acc, eval_taint(*e.a, kind, sim));
         if (e.b)
-            acc = lat.join(acc, eval_taint(*e.b, sim));
+            acc = lat.join(acc, eval_taint(*e.b, kind, sim));
         if (e.c)
-            acc = lat.join(acc, eval_taint(*e.c, sim));
+            acc = lat.join(acc, eval_taint(*e.c, kind, sim));
         for (const auto& p : e.parts)
-            acc = lat.join(acc, eval_taint(*p, sim));
+            acc = lat.join(acc, eval_taint(*p, kind, sim));
         return acc;
     }
     }
@@ -89,7 +97,7 @@ void TaintTracker::exec(const Stmt& s, ProcessKind kind, LevelId pc,
     case StmtKind::If: {
         // The guard's taint flows into every write of the taken branch
         // (implicit flow through control).
-        LevelId guard_taint = lat.join(pc, eval_taint(*s.cond, sim));
+        LevelId guard_taint = lat.join(pc, eval_taint(*s.cond, kind, sim));
         if (sim.evaluate(*s.cond).to_bool())
             exec(*s.then_stmt, kind, guard_taint, sim);
         else if (s.else_stmt)
@@ -97,10 +105,10 @@ void TaintTracker::exec(const Stmt& s, ProcessKind kind, LevelId pc,
         break;
     }
     case StmtKind::Assign: {
-        LevelId t = lat.join(pc, eval_taint(*s.rhs, sim));
+        LevelId t = lat.join(pc, eval_taint(*s.rhs, kind, sim));
         const Net& net = design_.net(s.lhs.net);
         if (net.array_size != 0) {
-            t = lat.join(t, eval_taint(*s.lhs.index, sim));
+            t = lat.join(t, eval_taint(*s.lhs.index, kind, sim));
             uint64_t idx = sim.evaluate(*s.lhs.index).value() % net.array_size;
             if (kind == ProcessKind::Comb)
                 array_taints_[net.id][idx] = t;
@@ -145,14 +153,22 @@ void TaintTracker::step(sim::Simulator& sim) {
             pending_[net.id] = current_[net.id];
     array_writes_.clear();
 
-    // Lock-step: propagate taints for a process against exactly the state
-    // the process will read, then let the simulator execute it.
+    // Two passes. First the simulator executes the whole schedule, so the
+    // pending store holds every register's next-cycle value; then the taint
+    // pass replays the schedule against that state. The split is safe
+    // because the scheduler already orders writers before readers (com
+    // dependency order, next()-writers before next()-readers) and rejects
+    // same-process next()-reads as comb-loops — so every value the taint
+    // pass reads equals what the process itself saw. It is also necessary:
+    // a sequential Downgrade's label args are Γ(r){r⃗'/r⃗}, and a pending
+    // write staged later in the same process (or schedule) must be visible
+    // when the taint pass evaluates them.
     sim.begin_step();
-    for (size_t pi : design_.schedule) {
+    for (size_t pi : design_.schedule)
+        sim.exec_process(pi);
+    for (size_t pi : design_.schedule)
         exec(*design_.processes[pi].body, design_.processes[pi].kind,
              lat.bottom(), sim);
-        sim.exec_process(pi);
-    }
 
     // Monitor *before* commit: a register's accumulated taint must flow
     // into the label it will carry next cycle.

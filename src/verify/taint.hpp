@@ -46,7 +46,8 @@ public:
     [[nodiscard]] uint64_t cycle() const { return cycle_; }
 
 private:
-    LevelId eval_taint(const hir::Expr& e, const sim::Simulator& sim) const;
+    LevelId eval_taint(const hir::Expr& e, hir::ProcessKind kind,
+                       const sim::Simulator& sim) const;
     void exec(const hir::Stmt& s, hir::ProcessKind kind, LevelId pc,
               const sim::Simulator& sim);
 

@@ -267,5 +267,47 @@ TEST(FuzzRunner, DumpModeEmitsProgramsWithoutRunningOracles) {
     EXPECT_NE(out.find("=== index 2 "), std::string::npos);
 }
 
+
+TEST(FuzzOracles, HuntTracesAlwaysReplayToTrackerViolations) {
+    // The no-crash oracle now runs a bounded hunt; its contract is that
+    // TaintSim candidates always replay-confirm. Exercise it directly on
+    // a design with a reachable leak and on a clean one.
+    const char* leaky = R"(
+lattice { level T; level U; flow T -> U; }
+function mode_to_lb(x:1) { 0 -> T; default -> U; }
+module fig3(input com {T} in_v, input com [7:0] {U} in_u);
+  reg seq {T} v;
+  reg seq [7:0] {U} untrusted;
+  reg seq [7:0] {mode_to_lb(v)} shared;
+  always @(seq) begin
+    v <= in_v;
+    untrusted <= in_u;
+    if (v == 1'b1) shared <= untrusted;
+  end
+endmodule
+)";
+    OracleConfig cfg;
+    OracleSet set;
+    set.no_crash = true;
+    auto findings = run_oracles(set, leaky, cfg);
+    EXPECT_TRUE(findings.empty())
+        << "a *confirmed* leak is a property of the design, not a "
+           "finding; got: "
+        << findings[0].detail;
+
+    const char* clean = R"(
+lattice { level T; level U; flow T -> U; }
+module m(input com [7:0] {U} b, output com [7:0] {U} out);
+  reg seq [7:0] {U} r;
+  assign out = r;
+  always @(seq) begin
+    r <= b + 8'h1;
+  end
+endmodule
+)";
+    findings = run_oracles(set, clean, cfg);
+    EXPECT_TRUE(findings.empty());
+}
+
 } // namespace
 } // namespace svlc::fuzz

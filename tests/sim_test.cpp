@@ -232,5 +232,63 @@ endmodule
     EXPECT_EQ(sim.get("u0.sum").value(), 13u);
 }
 
+TEST(Simulator, ElemAccessOnNonArrayNetThrows) {
+    auto c = compile(R"(
+module m(input com [7:0] {T} a);
+  reg seq [7:0] {T} r;
+  always @(seq) begin
+    r <= a;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    hir::NetId r = c.design->find_net("r");
+    EXPECT_THROW(sim.poke_elem(r, 0, BitVec(8, 1)), std::invalid_argument);
+    EXPECT_THROW((void)sim.get_elem(r, 0), std::invalid_argument);
+    // Array nets still work through the same entry points.
+}
+
+TEST(Simulator, RangeWriteOnFullWidthRegisterMergesCorrectly) {
+    // 64-bit register with part-selects touching both extremes: bit 63
+    // (the msb+1 == width edge that used to shift a uint64_t by 64) and
+    // bit 0 (the lsb == 0 edge).
+    auto c = compile(R"(
+module m(input com [15:0] {T} hi, input com [15:0] {T} lo);
+  reg seq [63:0] {T} a = 64'h1;
+  reg seq [63:0] {T} b = 64'h0;
+  always @(seq) begin
+    a[63:48] <= hi;
+  end
+  always @(seq) begin
+    b[15:0] <= lo;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("hi", 0xBEEF);
+    sim.set_input("lo", 0xCAFE);
+    sim.step();
+    EXPECT_EQ(sim.get("a").value(), (uint64_t{0xBEEF} << 48) | 1u);
+    EXPECT_EQ(sim.get("b").value(), 0xCAFEu);
+}
+
+TEST(Simulator, RangeWriteInteriorPreservesNeighbors) {
+    auto c = compile(R"(
+module m(input com [7:0] {T} b);
+  reg seq [23:0] {T} r = 24'hA0C0E0;
+  always @(seq) begin
+    r[15:8] <= b;
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    sim.set_input("b", 0x5A);
+    sim.step();
+    EXPECT_EQ(sim.get("r").value(), 0xA05AE0u);
+}
+
 } // namespace
 } // namespace svlc::test

@@ -267,5 +267,63 @@ endmodule
               static_cast<uint64_t>(*c.design->policy.lattice().find("U")));
 }
 
+
+TEST(Taint, SeqDowngradeEvaluatesPendingArgs) {
+    // Downgrade labels in a sequential process are Gamma(r){r'/r}: the
+    // function argument is the *next* value of a seq register, not the
+    // stale one. `v` starts 1 (target U) but is assigned 0 in the same
+    // step, so the endorse target is mode_to_lb(0) = T and `lo` is clean.
+    auto c = compile(R"(
+lattice { level T; level U; flow T -> U; }
+function mode_to_lb(x:1) { 0 -> T; default -> U; }
+module m(input com {T} in_v, input com [7:0] {U} in_u);
+  reg seq {T} v = 1'b1;
+  reg seq [7:0] {T} lo;
+  always @(seq) begin
+    v <= in_v;
+    lo <= endorse(in_u, mode_to_lb(v));
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    verify::TaintTracker tracker(*c.design);
+    sim.set_input("in_v", 0);
+    sim.set_input("in_u", 0x42);
+    tracker.step(sim);
+    tracker.step(sim);
+    EXPECT_TRUE(tracker.violations().empty())
+        << "stale-arg evaluation would endorse to U and flag lo";
+    EXPECT_EQ(tracker.taint(c.design->find_net("lo")),
+              *c.design->policy.lattice().find("T"));
+}
+
+TEST(Taint, SeqDowngradePendingArgsCatchWeakEndorse) {
+    // The dual direction: `v` starts 0 (stale target T) but is assigned
+    // 1, so the endorse really lands at mode_to_lb(1) = U and the write
+    // into the trusted register must be flagged. Stale-arg evaluation
+    // would silently accept it.
+    auto c = compile(R"(
+lattice { level T; level U; flow T -> U; }
+function mode_to_lb(x:1) { 0 -> T; default -> U; }
+module m(input com {T} in_v, input com [7:0] {U} in_u);
+  reg seq {T} v = 1'b0;
+  reg seq [7:0] {T} lo;
+  always @(seq) begin
+    v <= in_v;
+    lo <= endorse(in_u, mode_to_lb(v));
+  end
+endmodule
+)");
+    ASSERT_TRUE(c.ok()) << c.errors();
+    sim::Simulator sim(*c.design);
+    verify::TaintTracker tracker(*c.design);
+    sim.set_input("in_v", 1);
+    sim.set_input("in_u", 0x42);
+    tracker.step(sim);
+    EXPECT_FALSE(tracker.violations().empty())
+        << "endorse target is U on the pending mode; lo is declared T";
+}
+
 } // namespace
 } // namespace svlc::test

@@ -19,6 +19,10 @@
 //            [--vcd out.vcd] [--watch net]...
 //   svlc synth <file.svlc> [--top M] [--no-enable-ff] [--clock NS]
 //   svlc taint <file.svlc> [--top M] --cycles N [--set in=val]...
+//   svlc hunt <file.svlc> [--top M] [--depth N] [--observer L]
+//            [--beam N] [--branch K] [--seed S] [--no-minimize]
+//            [--json out.json]
+//   svlc hunt-corpus [--out DIR]
 //   svlc dump-cpu <labeled|baseline|vulnerable|quad> [outfile]
 //   svlc batch <manifest|dir|file.svlc|builtin:V> [--jobs N] [--json F]
 //              [--timeout-ms T] [--no-cache] [--warm] [--cpus]
@@ -38,6 +42,8 @@
 #include "driver/watch.hpp"
 #include "fuzz/reducer.hpp"
 #include "fuzz/runner.hpp"
+#include "hunt/corpus.hpp"
+#include "hunt/hunter.hpp"
 #include "incr/replay.hpp"
 #include "incr/store.hpp"
 #include "pipeline/compilation.hpp"
@@ -104,6 +110,10 @@ int usage() {
                  "           [--vcd out.vcd] [--watch net]...\n"
                  "  svlc synth <file.svlc> [--top M] [--no-enable-ff] [--clock NS]\n"
                  "  svlc taint <file.svlc> [--top M] --cycles N [--set in=val]...\n"
+                 "  svlc hunt <file.svlc> [--top M] [--depth N] [--observer L]\n"
+                 "            [--beam N] [--branch K] [--seed S]\n"
+                 "            [--no-minimize] [--json out.json]\n"
+                 "  svlc hunt-corpus [--out DIR]\n"
                  "  svlc dump-cpu <labeled|baseline|vulnerable|quad> [outfile]\n"
                  "  svlc asm <file.s> [outfile.hex]\n"
                  "  svlc disasm <file.hex>\n"
@@ -167,6 +177,15 @@ struct Args {
     std::string corpus_dir = "fuzz-corpus";
     bool no_reduce = false;
     bool dump = false;
+    // hunt
+    uint64_t hunt_depth = 16;
+    std::string observer;
+    uint64_t hunt_beam = 8;
+    uint64_t hunt_branch = 4;
+    uint64_t hunt_seed = 0x5eed;
+    bool no_minimize = false;
+    // hunt-corpus
+    std::string corpus_out = "hunt-corpus";
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -371,6 +390,20 @@ bool parse_args(int argc, char** argv, Args& args) {
         }
         return true;
     }
+    if (args.command == "hunt-corpus") {
+        // No positional argument; everything is a flag.
+        for (; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--out" && i + 1 < argc) {
+                args.corpus_out = argv[++i];
+            } else {
+                std::fprintf(stderr, "hunt-corpus: unknown option '%s'\n",
+                             arg.c_str());
+                return false;
+            }
+        }
+        return true;
+    }
     if (i >= argc)
         return false;
     args.file = argv[i++];
@@ -515,6 +548,48 @@ bool parse_args(int argc, char** argv, Args& args) {
             if (!v)
                 return false;
             args.oracle = v;
+        } else if (arg == "--depth") {
+            const char* v = next();
+            if (!v)
+                return false;
+            char* end = nullptr;
+            args.hunt_depth = std::strtoull(v, &end, 0);
+            if (!*v || *end || args.hunt_depth == 0) {
+                std::fprintf(stderr, "--depth: bad cycle count '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--observer") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.observer = v;
+        } else if (arg == "--beam") {
+            const char* v = next();
+            if (!v)
+                return false;
+            char* end = nullptr;
+            args.hunt_beam = std::strtoull(v, &end, 0);
+            if (!*v || *end || args.hunt_beam == 0) {
+                std::fprintf(stderr, "--beam: bad width '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--branch") {
+            const char* v = next();
+            if (!v)
+                return false;
+            char* end = nullptr;
+            args.hunt_branch = std::strtoull(v, &end, 0);
+            if (!*v || *end || args.hunt_branch == 0) {
+                std::fprintf(stderr, "--branch: bad count '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--seed") {
+            const char* v = next();
+            if (!v)
+                return false;
+            args.hunt_seed = std::strtoull(v, nullptr, 0);
+        } else if (arg == "--no-minimize") {
+            args.no_minimize = true;
         } else if (arg == "--out") {
             const char* v = next();
             if (!v)
@@ -1035,6 +1110,62 @@ int cmd_taint(const Args& args) {
     return tracker.violations().empty() ? 0 : 1;
 }
 
+int cmd_hunt(const Args& args) {
+    auto comp = elaborate_file(args);
+    if (!comp)
+        return 1;
+    const hir::Design* design = comp->design();
+
+    hunt::HuntOptions opts;
+    opts.depth = args.hunt_depth;
+    opts.beam = static_cast<size_t>(args.hunt_beam);
+    opts.branch = static_cast<size_t>(args.hunt_branch);
+    opts.seed = args.hunt_seed;
+    opts.minimize = !args.no_minimize;
+    if (!args.observer.empty()) {
+        auto lvl = design->policy.lattice().find(args.observer);
+        if (!lvl) {
+            std::fprintf(stderr, "hunt: unknown observer level '%s'\n",
+                         args.observer.c_str());
+            return 2;
+        }
+        opts.observer = *lvl;
+    }
+
+    hunt::HuntResult result = hunt::hunt(*design, opts);
+    std::fputs(hunt::render_hunt(*design, result).c_str(), stdout);
+    if (!args.json_path.empty()) {
+        std::string json = hunt::hunt_json(*design, result);
+        if (args.json_path == "-") {
+            std::fputs(json.c_str(), stdout);
+            std::fputc('\n', stdout);
+        } else {
+            std::string err;
+            if (!write_file_atomic(args.json_path, json, &err)) {
+                std::fprintf(stderr, "hunt: %s\n", err.c_str());
+                return 1;
+            }
+        }
+    }
+    return result.verdict == hunt::HuntVerdict::Leak ? 1 : 0;
+}
+
+int cmd_hunt_corpus(const Args& args) {
+    std::vector<hunt::Scenario> scenarios = hunt::builtin_scenarios();
+    std::string error;
+    if (!hunt::write_corpus(args.corpus_out, scenarios, error)) {
+        std::fprintf(stderr, "hunt-corpus: %s\n", error.c_str());
+        return 1;
+    }
+    size_t planted = 0;
+    for (const hunt::Scenario& sc : scenarios)
+        planted += sc.planted_leak ? 1 : 0;
+    std::printf("wrote %zu scenario(s) (%zu with planted leaks) and a "
+                "hunt manifest to %s\n",
+                scenarios.size(), planted, args.corpus_out.c_str());
+    return 0;
+}
+
 int cmd_dump_cpu(const Args& args) {
     std::string text;
     std::string suggested;
@@ -1255,6 +1386,10 @@ int dispatch(const Args& args) {
         return cmd_synth(args);
     if (args.command == "taint")
         return cmd_taint(args);
+    if (args.command == "hunt")
+        return cmd_hunt(args);
+    if (args.command == "hunt-corpus")
+        return cmd_hunt_corpus(args);
     if (args.command == "dump-cpu")
         return cmd_dump_cpu(args);
     if (args.command == "asm")
